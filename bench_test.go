@@ -1,0 +1,349 @@
+// Benchmarks regenerating the paper's evaluation under `go test -bench`:
+// one benchmark per figure (6–10) plus this reproduction's ablations.
+// Each figure benchmark runs every system of that figure at the paper's
+// workload parameters on the simulated 10-core SMT-8 POWER8, and reports
+// throughput (tx/s) together with the abort breakdown per operation —
+// the two panels of the paper's figures.
+//
+// The full thread ladder and long windows live in cmd/sihtm-bench; here
+// each figure is sampled at representative thread counts so the whole
+// suite stays runnable as a unit. See EXPERIMENTS.md for the mapping and
+// for measured-vs-paper tables.
+package sihtm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/htmtm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/p8tm"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/silo"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/hashmap"
+	"sihtm/internal/workload/tpcc"
+)
+
+// benchThreads are the ladder points sampled by the figure benchmarks:
+// single-core, all-cores, and the SMT-2 region.
+var benchThreads = []int{1, 8, 16}
+
+func newBenchSystem(b *testing.B, name string, m *htm.Machine, heap *memsim.Heap, threads int) tm.System {
+	b.Helper()
+	switch name {
+	case "htm":
+		return htmtm.NewSystem(m, threads, htmtm.Config{})
+	case "si-htm":
+		return sihtm.NewSystem(m, threads, sihtm.Config{})
+	case "p8tm":
+		return p8tm.NewSystem(m, threads, p8tm.Config{})
+	case "silo":
+		return silo.NewSystem(heap, threads)
+	default:
+		b.Fatalf("unknown system %q", name)
+		return nil
+	}
+}
+
+// reportResult attaches the figure-panel metrics to the benchmark.
+func reportResult(b *testing.B, r harness.Result) {
+	b.Helper()
+	b.ReportMetric(r.Throughput, "tx/s")
+	att := float64(r.Stats.Attempts())
+	if att == 0 {
+		att = 1
+	}
+	b.ReportMetric(100*r.Stats.AbortRate(), "abort%")
+	b.ReportMetric(100*float64(r.Stats.Aborts[stats.AbortCapacity])/att, "capacity%")
+	b.ReportMetric(float64(r.Stats.Fallbacks), "fallbacks")
+}
+
+// benchHashmap runs one hash-map figure configuration.
+func benchHashmap(b *testing.B, buckets, elems, roPercent int) {
+	for _, system := range []string{"htm", "si-htm"} {
+		for _, threads := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", system, threads), func(b *testing.B) {
+				cfg := hashmap.BenchConfig{
+					Buckets:           buckets,
+					ElementsPerBucket: elems,
+					ReadOnlyPercent:   roPercent,
+					Seed:              7,
+				}
+				heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+				m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+				bench, err := hashmap.NewBenchmark(heap, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys := newBenchSystem(b, system, m, heap, threads)
+				perThread := b.N/threads + 1
+				b.ResetTimer()
+				r := harness.RunOps(sys, threads, perThread, func(thread int) func() {
+					w := bench.NewWorker(sys, thread, uint64(13*threads+thread))
+					return w.Op
+				})
+				b.StopTimer()
+				reportResult(b, r)
+			})
+		}
+	}
+}
+
+// benchTPCC runs one TPC-C figure configuration.
+func benchTPCC(b *testing.B, mix tpcc.Mix, lowContention bool) {
+	for _, system := range []string{"htm", "si-htm", "p8tm", "silo"} {
+		for _, threads := range benchThreads {
+			b.Run(fmt.Sprintf("%s/threads=%d", system, threads), func(b *testing.B) {
+				warehouses := 1
+				if lowContention {
+					warehouses = threads
+					if warehouses > 8 {
+						warehouses = 8
+					}
+				}
+				cfg := tpcc.Config{Warehouses: warehouses, ScaleDiv: 20, OrderRing: 512, Seed: 3}
+				heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+				m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+				db, err := tpcc.NewDB(heap, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sys := newBenchSystem(b, system, m, heap, threads)
+				perThread := b.N/threads + 1
+				b.ResetTimer()
+				r := harness.RunOps(sys, threads, perThread, func(thread int) func() {
+					w, err := db.NewWorker(sys, thread, mix, uint64(29*threads+thread))
+					if err != nil {
+						panic(err)
+					}
+					return func() { w.Op() }
+				})
+				b.StopTimer()
+				reportResult(b, r)
+				if err := db.CheckConsistency(); err != nil {
+					b.Fatalf("post-run consistency: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// Figure 6: hash-map, large footprint, 90% read-only.
+func BenchmarkFig6HashmapLarge90ROLowContention(b *testing.B)  { benchHashmap(b, 1000, 200, 90) }
+func BenchmarkFig6HashmapLarge90ROHighContention(b *testing.B) { benchHashmap(b, 10, 200, 90) }
+
+// Figure 7: hash-map, large footprint, 50% read-only.
+func BenchmarkFig7HashmapLarge50ROLowContention(b *testing.B)  { benchHashmap(b, 1000, 200, 50) }
+func BenchmarkFig7HashmapLarge50ROHighContention(b *testing.B) { benchHashmap(b, 10, 200, 50) }
+
+// Figure 8: hash-map, small footprint, 90% read-only.
+func BenchmarkFig8HashmapSmall90ROLowContention(b *testing.B)  { benchHashmap(b, 1000, 50, 90) }
+func BenchmarkFig8HashmapSmall90ROHighContention(b *testing.B) { benchHashmap(b, 10, 50, 90) }
+
+// Figure 9: TPC-C standard mix.
+func BenchmarkFig9TPCCStandardLowContention(b *testing.B)  { benchTPCC(b, tpcc.StandardMix, true) }
+func BenchmarkFig9TPCCStandardHighContention(b *testing.B) { benchTPCC(b, tpcc.StandardMix, false) }
+
+// Figure 10: TPC-C read-dominated mix.
+func BenchmarkFig10TPCCReadDominatedLowContention(b *testing.B) {
+	benchTPCC(b, tpcc.ReadDominatedMix, true)
+}
+func BenchmarkFig10TPCCReadDominatedHighContention(b *testing.B) {
+	benchTPCC(b, tpcc.ReadDominatedMix, false)
+}
+
+// Ablation A1: the capacity cliff — read footprint sweep at one thread.
+func BenchmarkAblationCapacityCliff(b *testing.B) {
+	for _, system := range []string{"htm", "si-htm"} {
+		for _, footprint := range []int{16, 48, 64, 96, 192} {
+			b.Run(fmt.Sprintf("%s/lines=%d", system, footprint), func(b *testing.B) {
+				heap := memsim.NewHeapLines(footprint*2 + (1 << 12))
+				m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+				lines := make([]memsim.Addr, footprint)
+				for i := range lines {
+					lines[i] = heap.AllocLine()
+				}
+				out := heap.AllocLine()
+				sys := newBenchSystem(b, system, m, heap, 1)
+				b.ResetTimer()
+				r := harness.RunOps(sys, 1, b.N, func(int) func() {
+					return func() {
+						sys.Atomic(0, tm.KindUpdate, func(ops tm.Ops) {
+							var sum uint64
+							for _, a := range lines {
+								sum += ops.Read(a)
+							}
+							ops.Write(out, sum)
+						})
+					}
+				})
+				b.StopTimer()
+				reportResult(b, r)
+			})
+		}
+	}
+}
+
+// Ablation A2: TMCAM size sensitivity on the Figure 6 workload.
+func BenchmarkAblationTMCAMSize(b *testing.B) {
+	for _, system := range []string{"htm", "si-htm"} {
+		for _, size := range []int{32, 64, 128} {
+			b.Run(fmt.Sprintf("%s/tmcam=%d", system, size), func(b *testing.B) {
+				cfg := hashmap.BenchConfig{Buckets: 1000, ElementsPerBucket: 200, ReadOnlyPercent: 90, Seed: 5}
+				heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+				m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper(), TMCAMLines: size})
+				bench, err := hashmap.NewBenchmark(heap, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const threads = 8
+				sys := newBenchSystem(b, system, m, heap, threads)
+				b.ResetTimer()
+				r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
+					w := bench.NewWorker(sys, thread, uint64(3*threads+thread))
+					return w.Op
+				})
+				b.StopTimer()
+				reportResult(b, r)
+			})
+		}
+	}
+}
+
+// Ablation A3: SI-HTM's read-only fast path on vs off.
+func BenchmarkAblationNoROFastPath(b *testing.B) {
+	for _, disable := range []bool{false, true} {
+		name := "fastpath"
+		if disable {
+			name = "no-fastpath"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := hashmap.BenchConfig{Buckets: 1000, ElementsPerBucket: 200, ReadOnlyPercent: 90, Seed: 5}
+			heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+			bench, err := hashmap.NewBenchmark(heap, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const threads = 8
+			sys := sihtm.NewSystem(m, threads, sihtm.Config{DisableROFastPath: disable})
+			b.ResetTimer()
+			r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
+				w := bench.NewWorker(sys, thread, uint64(23*threads+thread))
+				return w.Op
+			})
+			b.StopTimer()
+			reportResult(b, r)
+		})
+	}
+}
+
+// Ablation A4a: the §6 killing policy under high update contention.
+func BenchmarkAblationKillerPolicy(b *testing.B) {
+	for _, killerSpins := range []int{0, 1 << 12} {
+		name := "baseline"
+		if killerSpins > 0 {
+			name = "killer"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := hashmap.BenchConfig{Buckets: 10, ElementsPerBucket: 200, ReadOnlyPercent: 50, Seed: 5}
+			heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+			bench, err := hashmap.NewBenchmark(heap, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			const threads = 8
+			sys := sihtm.NewSystem(m, threads, sihtm.Config{KillerSpins: killerSpins})
+			b.ResetTimer()
+			r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
+				w := bench.NewWorker(sys, thread, uint64(37*threads+thread))
+				return w.Op
+			})
+			b.StopTimer()
+			reportResult(b, r)
+		})
+	}
+}
+
+// Ablation A4b: the §6 batching policy — pairs of update transactions
+// merged into one ROT + one quiescence vs run individually.
+func BenchmarkAblationBatchingPolicy(b *testing.B) {
+	for _, batched := range []bool{false, true} {
+		name := "individual"
+		if batched {
+			name = "batched-pairs"
+		}
+		b.Run(name, func(b *testing.B) {
+			heap := memsim.NewHeapLines(1 << 14)
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+			const threads = 8
+			sys := sihtm.NewSystem(m, threads, sihtm.Config{})
+			// Per-thread disjoint counters: the cost under measurement is
+			// pure quiescence, which batching halves.
+			counters := make([]memsim.Addr, threads)
+			for i := range counters {
+				counters[i] = heap.AllocLine()
+			}
+			b.ResetTimer()
+			r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
+				a := counters[thread]
+				inc := func(ops tm.Ops) { ops.Write(a, ops.Read(a)+1) }
+				if batched {
+					pair := []func(tm.Ops){inc, inc}
+					return func() { sys.AtomicBatch(thread, pair) }
+				}
+				return func() {
+					sys.Atomic(thread, tm.KindUpdate, inc)
+					sys.Atomic(thread, tm.KindUpdate, inc)
+				}
+			})
+			b.StopTimer()
+			reportResult(b, r)
+		})
+	}
+}
+
+// Ablation A5: SMT placement — 8 threads spread over 8 cores vs stacked
+// on one core, on the TPC-C standard mix.
+func BenchmarkAblationSMTPlacement(b *testing.B) {
+	for _, system := range []string{"htm", "si-htm"} {
+		for _, stacked := range []bool{false, true} {
+			name := "spread"
+			topo := topology.New(8, 8)
+			if stacked {
+				name = "stacked"
+				topo = topology.New(1, 8)
+			}
+			b.Run(fmt.Sprintf("%s/%s", system, name), func(b *testing.B) {
+				cfg := tpcc.Config{Warehouses: 8, ScaleDiv: 20, OrderRing: 512, Seed: 9}
+				heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+				m := htm.NewMachine(heap, htm.Config{Topology: topo})
+				db, err := tpcc.NewDB(heap, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				const threads = 8
+				sys := newBenchSystem(b, system, m, heap, threads)
+				b.ResetTimer()
+				r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
+					w, err := db.NewWorker(sys, thread, tpcc.StandardMix, uint64(41*threads+thread))
+					if err != nil {
+						panic(err)
+					}
+					return func() { w.Op() }
+				})
+				b.StopTimer()
+				reportResult(b, r)
+				if err := db.CheckConsistency(); err != nil {
+					b.Fatalf("post-run consistency: %v", err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,102 @@
+// Command hashmap-bench runs the paper's §4.1 hash-map micro-benchmark
+// with every knob exposed: bucket count (contention), chain length
+// (footprint), read-only share, system, thread count and windows.
+//
+// Example (the peak point of Figure 6 left):
+//
+//	hashmap-bench -system si-htm -threads 32 -buckets 1000 -elements 200 -read-pct 90
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/htmtm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/p8tm"
+	"sihtm/internal/sgl"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/silo"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/hashmap"
+)
+
+func main() {
+	var (
+		system   = flag.String("system", "si-htm", "htm | si-htm | p8tm | silo | sgl")
+		threads  = flag.Int("threads", 8, "worker threads (placed on 10 cores × SMT-8)")
+		buckets  = flag.Int("buckets", 1000, "hash-map buckets (1000 = low contention, 10 = high)")
+		elements = flag.Int("elements", 200, "average chain length (200 = large footprint, 50 = short)")
+		readPct  = flag.Int("read-pct", 90, "read-only transaction percentage")
+		tmcam    = flag.Int("tmcam", 64, "TMCAM lines per core")
+		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warm-up window")
+		measure  = flag.Duration("measure", 1*time.Second, "measurement window")
+		seed     = flag.Uint64("seed", 42, "population/workload seed")
+	)
+	flag.Parse()
+
+	cfg := hashmap.BenchConfig{
+		Buckets:           *buckets,
+		ElementsPerBucket: *elements,
+		ReadOnlyPercent:   *readPct,
+		Seed:              *seed,
+	}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper(), TMCAMLines: *tmcam})
+	bench, err := hashmap.NewBenchmark(heap, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var sys tm.System
+	switch *system {
+	case "htm":
+		sys = htmtm.NewSystem(m, *threads, htmtm.Config{})
+	case "si-htm":
+		sys = sihtm.NewSystem(m, *threads, sihtm.Config{})
+	case "p8tm":
+		sys = p8tm.NewSystem(m, *threads, p8tm.Config{})
+	case "silo":
+		sys = silo.NewSystem(heap, *threads)
+	case "sgl":
+		sys = sgl.NewSystem(m, *threads)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	initial := bench.Map.Size()
+	r := harness.Run(sys, *threads, *warmup, *measure, func(thread int) func() {
+		w := bench.NewWorker(sys, thread, *seed+uint64(thread)*101)
+		return w.Op
+	})
+
+	fmt.Printf("system=%s threads=%d buckets=%d chain=%d read%%=%d tmcam=%d\n",
+		sys.Name(), *threads, *buckets, *elements, *readPct, *tmcam)
+	fmt.Printf("throughput: %.0f tx/s over %v\n", r.Throughput, r.Elapsed.Round(time.Millisecond))
+	fmt.Printf("commits: %d (read-only %d)  fallbacks: %d\n",
+		r.Stats.Commits, r.Stats.CommitsRO, r.Stats.Fallbacks)
+	fmt.Printf("aborts: %.1f%% of attempts (transactional %.1f%% | non-transactional %.1f%% | capacity %.1f%%)\n",
+		100*r.Stats.AbortRate(),
+		r.AbortPercent(stats.AbortTransactional),
+		r.AbortPercent(stats.AbortNonTransactional),
+		r.AbortPercent(stats.AbortCapacity))
+
+	size := bench.Map.Size()
+	if size < initial-2**threads || size > initial+2**threads {
+		fmt.Fprintf(os.Stderr, "consistency: hash-map size drifted %d → %d\n", initial, size)
+		os.Exit(1)
+	}
+	fmt.Printf("consistency: map size %d → %d (ok)\n", initial, size)
+}

@@ -1,0 +1,140 @@
+// Command sihtm-bench regenerates the paper's evaluation: every figure
+// (6–10, low- and high-contention panels) and this reproduction's
+// ablations, printing the throughput and abort-breakdown tables that
+// correspond to the figures' two panels.
+//
+// Usage:
+//
+//	sihtm-bench -experiment list
+//	sihtm-bench -experiment fig6              # both panels of Figure 6
+//	sihtm-bench -experiment fig9-low          # one panel
+//	sihtm-bench -experiment all               # everything (long)
+//	sihtm-bench -experiment fig10 -max-threads 16 -measure 2s -out results.txt
+//
+// The thread ladder, workloads and mixes are the paper's; -max-threads
+// and -workload-div shrink runs for quick machines (shape, not absolute
+// numbers, is the reproduction target — see EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"sihtm/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment  = flag.String("experiment", "list", "experiment id, figure id (fig6..fig10), 'all', or 'list'")
+		maxThreads  = flag.Int("max-threads", 0, "cap the thread ladder (0 = paper's full ladder to 80)")
+		workloadDiv = flag.Int("workload-div", 1, "divide workload sizes by this factor for quick runs")
+		warmup      = flag.Duration("warmup", 150*time.Millisecond, "warm-up window per point")
+		measure     = flag.Duration("measure", 600*time.Millisecond, "measurement window per point")
+		out         = flag.String("out", "", "also write the report to this file")
+		quiet       = flag.Bool("quiet", false, "suppress per-point progress lines")
+	)
+	flag.Parse()
+
+	sc := experiments.Scale{
+		MaxThreads:  *maxThreads,
+		WorkloadDiv: *workloadDiv,
+		Warmup:      *warmup,
+		Measure:     *measure,
+	}
+	list, byID := experiments.All(sc)
+
+	if *experiment == "list" {
+		fmt.Println("experiments:")
+		for _, e := range list {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("\ngroups: fig6 fig7 fig8 fig9 fig10 figures ablations all")
+		return
+	}
+
+	ids, err := resolve(*experiment, list)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var sinks []io.Writer = []io.Writer{os.Stdout}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		sinks = append(sinks, f)
+	}
+	report := io.MultiWriter(sinks...)
+
+	var progress io.Writer = os.Stderr
+	if *quiet {
+		progress = nil
+	}
+
+	fmt.Fprintf(report, "sihtm-bench: host GOMAXPROCS=%d; simulated machine: 10 cores × SMT-8, TMCAM 64 lines\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(report, "windows: warmup=%v measure=%v; workload divisor %d\n\n", *warmup, *measure, *workloadDiv)
+
+	for _, id := range ids {
+		e := byID[id]
+		fmt.Fprintf(report, "=== %s: %s ===\n", e.ID, e.Title)
+		if progress != nil {
+			fmt.Fprintf(progress, "[%s]\n", e.ID)
+		}
+		text, err := e.Run(progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(report, text)
+	}
+}
+
+// resolve expands an experiment selector to experiment ids.
+func resolve(sel string, list []experiments.Experiment) ([]string, error) {
+	var all, figures, ablations []string
+	for _, e := range list {
+		all = append(all, e.ID)
+		if strings.HasPrefix(e.ID, "fig") {
+			figures = append(figures, e.ID)
+		} else {
+			ablations = append(ablations, e.ID)
+		}
+	}
+	switch sel {
+	case "all":
+		return all, nil
+	case "figures":
+		return figures, nil
+	case "ablations":
+		return ablations, nil
+	}
+	// Exact id.
+	for _, id := range all {
+		if id == sel {
+			return []string{id}, nil
+		}
+	}
+	// Figure group: "fig6" → fig6-low, fig6-high.
+	var group []string
+	for _, id := range all {
+		if strings.HasPrefix(id, sel+"-") {
+			group = append(group, id)
+		}
+	}
+	if len(group) > 0 {
+		sort.Strings(group)
+		return group, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q (try -experiment list)", sel)
+}

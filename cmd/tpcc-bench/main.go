@@ -1,0 +1,132 @@
+// Command tpcc-bench runs the paper's §4.2 TPC-C benchmark with every
+// knob exposed: warehouse count (contention), mix (standard vs
+// read-dominated, or custom percentages), system, threads and windows.
+// After each run it verifies the TPC-C consistency conditions.
+//
+// Examples:
+//
+//	tpcc-bench -system si-htm -threads 8 -warehouses 8 -mix standard
+//	tpcc-bench -system htm -threads 16 -warehouses 1 -mix read-dominated
+//	tpcc-bench -system silo -threads 4 -s 4 -d 4 -o 4 -p 43 -r 45
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/htmtm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/p8tm"
+	"sihtm/internal/sgl"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/silo"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/tpcc"
+)
+
+func main() {
+	var (
+		system     = flag.String("system", "si-htm", "htm | si-htm | p8tm | silo | sgl")
+		threads    = flag.Int("threads", 8, "worker threads (placed on 10 cores × SMT-8)")
+		warehouses = flag.Int("warehouses", 0, "warehouse count (0 = min(threads,16): low contention; 1 = high)")
+		mixName    = flag.String("mix", "standard", "standard | read-dominated | custom (use -s -d -o -p -r)")
+		sPct       = flag.Int("s", 4, "custom mix: stock-level %")
+		dPct       = flag.Int("d", 4, "custom mix: delivery %")
+		oPct       = flag.Int("o", 4, "custom mix: order-status %")
+		pPct       = flag.Int("p", 43, "custom mix: payment %")
+		rPct       = flag.Int("r", 45, "custom mix: new-order %")
+		scaleDiv   = flag.Int("scale-div", 10, "divide spec cardinalities (items, customers) by this")
+		warmup     = flag.Duration("warmup", 200*time.Millisecond, "warm-up window")
+		measure    = flag.Duration("measure", 1*time.Second, "measurement window")
+		seed       = flag.Uint64("seed", 42, "population/workload seed")
+	)
+	flag.Parse()
+
+	var mix tpcc.Mix
+	switch *mixName {
+	case "standard":
+		mix = tpcc.StandardMix
+	case "read-dominated":
+		mix = tpcc.ReadDominatedMix
+	case "custom":
+		mix = tpcc.Mix{StockLevel: *sPct, Delivery: *dPct, OrderStatus: *oPct, Payment: *pPct, NewOrder: *rPct}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mix %q\n", *mixName)
+		os.Exit(2)
+	}
+	if err := mix.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	w := *warehouses
+	if w == 0 {
+		w = *threads
+		if w > 16 {
+			w = 16
+		}
+	}
+	cfg := tpcc.Config{Warehouses: w, ScaleDiv: *scaleDiv, Seed: *seed}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("populating %d warehouses (%d items, %d customers/district)...\n",
+		w, cfg.Items(), cfg.CustomersPerDistrict())
+	heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+	db, err := tpcc.NewDB(heap, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var sys tm.System
+	switch *system {
+	case "htm":
+		sys = htmtm.NewSystem(m, *threads, htmtm.Config{})
+	case "si-htm":
+		sys = sihtm.NewSystem(m, *threads, sihtm.Config{})
+	case "p8tm":
+		sys = p8tm.NewSystem(m, *threads, p8tm.Config{})
+	case "silo":
+		sys = silo.NewSystem(heap, *threads)
+	case "sgl":
+		sys = sgl.NewSystem(m, *threads)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	r := harness.Run(sys, *threads, *warmup, *measure, func(thread int) func() {
+		wk, err := db.NewWorker(sys, thread, mix, *seed+uint64(thread)*97)
+		if err != nil {
+			panic(err)
+		}
+		return func() { wk.Op() }
+	})
+
+	fmt.Printf("system=%s threads=%d warehouses=%d mix={s%d d%d o%d p%d r%d}\n",
+		sys.Name(), *threads, w, mix.StockLevel, mix.Delivery, mix.OrderStatus, mix.Payment, mix.NewOrder)
+	fmt.Printf("throughput: %.0f tx/s over %v\n", r.Throughput, r.Elapsed.Round(time.Millisecond))
+	fmt.Printf("commits: %d (read-only %d)  fallbacks: %d\n",
+		r.Stats.Commits, r.Stats.CommitsRO, r.Stats.Fallbacks)
+	fmt.Printf("aborts: %.1f%% of attempts (transactional %.1f%% | non-transactional %.1f%% | capacity %.1f%%)\n",
+		100*r.Stats.AbortRate(),
+		r.AbortPercent(stats.AbortTransactional),
+		r.AbortPercent(stats.AbortNonTransactional),
+		r.AbortPercent(stats.AbortCapacity))
+
+	if err := db.CheckConsistency(); err != nil {
+		fmt.Fprintf(os.Stderr, "consistency check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("consistency: all checks passed (%d orders entered)\n", db.TotalOrders())
+}

@@ -1,0 +1,84 @@
+// Package db exposes the repository's miniature in-memory database
+// engine — fixed-width tables with a primary-key B+tree and secondary
+// indexes over the transactional heap — as part of the public API. It is
+// the integration shape the paper's introduction motivates: an IMDB whose
+// concurrency control is SI-HTM (or any of the baselines), with no
+// instrumentation of the engine's reads and writes beyond tm.Ops.
+//
+// Typical use:
+//
+//	rt := sihtm.New(sihtm.Config{HeapLines: 1 << 18})
+//	store := db.New(rt)
+//	orders, _ := store.CreateTable(db.Schema{
+//	    Table:   "orders",
+//	    Columns: []string{"id", "customer", "amount"},
+//	}, 1<<16)
+//	orders.CreateIndex("customer")
+//
+//	sys := rt.NewSIHTM(8, sihtm.SIHTMOptions{})
+//	w := orders.NewWriter() // one per worker
+//	w.Prepare()
+//	sys.Atomic(0, sihtm.KindUpdate, func(ops sihtm.Ops) {
+//	    w.Insert(ops, []uint64{1001, 7, 250_00})
+//	})
+//	w.Commit()
+//
+// Read-only reports (ScanPK / ScanIndex) run on SI-HTM's uninstrumented
+// fast path with unlimited capacity — the capacity stretch that is the
+// paper's contribution, applied to database range queries.
+package db
+
+import (
+	"sihtm"
+	"sihtm/internal/imdb"
+	"sihtm/internal/index/btree"
+)
+
+// Re-exported engine types.
+type (
+	// DB owns tables over one runtime's heap.
+	DB = imdb.DB
+	// Schema declares a table's columns; column 0 is the primary key.
+	Schema = imdb.Schema
+	// Table is a fixed-capacity row store with indexes.
+	Table = imdb.Table
+	// RowID identifies a row within its table.
+	RowID = imdb.RowID
+	// Writer is a per-worker insert handle (private row slots + index
+	// node pool): Insert inside the transaction body, Commit after it
+	// returns.
+	Writer = imdb.Writer
+	// Pool pre-allocates index nodes so transaction bodies stay
+	// allocation-free (Refill outside transactions, Reset at body start,
+	// Commit after the transaction returns).
+	Pool = btree.Pool
+	// Tree is the underlying transactional B+tree, usable directly for
+	// ordered maps outside the table abstraction.
+	Tree = btree.Tree
+)
+
+// Exported errors.
+var (
+	// ErrDuplicateKey reports an Insert with an existing primary key.
+	ErrDuplicateKey = imdb.ErrDuplicateKey
+	// ErrTableFull reports an Insert beyond the table's capacity.
+	ErrTableFull = imdb.ErrTableFull
+)
+
+// New creates an empty database on the runtime's heap.
+func New(rt *sihtm.Runtime) *DB { return imdb.New(rt.Heap()) }
+
+// NewPool creates an index-node pool on the runtime's heap.
+func NewPool(rt *sihtm.Runtime) *Pool { return btree.NewPool(rt.Heap()) }
+
+// NewTree creates a standalone transactional B+tree on the runtime's heap.
+func NewTree(rt *sihtm.Runtime) *Tree { return btree.New(rt.Heap()) }
+
+// RecommendedPoolSize is the node count one standalone tree insert may
+// consume (a full root-to-leaf split chain).
+func RecommendedPoolSize() int { return btree.RecommendedPoolSize() }
+
+// HeapLinesForTable estimates the heap a table needs (rows + indexes).
+func HeapLinesForTable(s Schema, capacity, indexes int) int {
+	return imdb.HeapLinesForTable(s, capacity, indexes)
+}

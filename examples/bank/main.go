@@ -1,0 +1,102 @@
+// Bank: snapshot isolation's write-skew anomaly, live, and the paper's
+// read-promotion fix (§2.1).
+//
+// Two accounts share an overdraft rule: a withdrawal is allowed if the
+// SUM of both balances stays non-negative. Under serializability the rule
+// can never be violated. Under snapshot isolation two concurrent
+// withdrawals — each reading both balances, each debiting a different
+// account — can both commit: the write skew. SI-HTM, being an SI system,
+// admits it; promoting the read of the other account turns the skew into
+// a write-write conflict and restores the invariant.
+//
+// Run with: go run ./examples/bank
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"sihtm"
+)
+
+const (
+	initialBalance int64 = 100 // per account; rule: a+b >= 0
+	withdrawal     int64 = 150 // each side tries to take 150
+)
+
+// Balances can go negative, so they are stored two's-complement.
+func load(ops sihtm.Ops, a sihtm.Addr) int64     { return int64(ops.Read(a)) }
+func store(ops sihtm.Ops, a sihtm.Addr, v int64) { ops.Write(a, uint64(v)) }
+
+// withdraw takes `withdrawal` from own if the joint balance allows it.
+// promote selects the paper's fix.
+func withdraw(sys sihtm.System, thread int, own, other sihtm.Addr, promote bool) {
+	sys.Atomic(thread, sihtm.KindUpdate, func(ops sihtm.Ops) {
+		mine := load(ops, own)
+		var theirs int64
+		if promote {
+			theirs = int64(sihtm.PromoteRead(ops, other))
+		} else {
+			theirs = load(ops, other)
+		}
+		if mine+theirs >= withdrawal {
+			store(ops, own, mine-withdrawal)
+		}
+	})
+}
+
+// run performs `rounds` concurrent withdrawal pairs and reports how many
+// rounds ended with the invariant broken (joint balance negative).
+func run(promote bool, rounds int) int {
+	rt := sihtm.New(sihtm.Config{HeapLines: 1 << 10})
+	sys := rt.NewSIHTM(2, sihtm.SIHTMOptions{})
+	a := rt.Heap().AllocLine()
+	b := rt.Heap().AllocLine()
+
+	violations := 0
+	for round := 0; round < rounds; round++ {
+		rt.Heap().Store(a, uint64(initialBalance))
+		rt.Heap().Store(b, uint64(initialBalance))
+
+		// Start both withdrawals together so their snapshots overlap.
+		var began atomic.Int32
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			began.Add(1)
+			for began.Load() < 2 {
+			}
+			withdraw(sys, 0, a, b, promote)
+		}()
+		go func() {
+			defer wg.Done()
+			began.Add(1)
+			for began.Load() < 2 {
+			}
+			withdraw(sys, 1, b, a, promote)
+		}()
+		wg.Wait()
+
+		if int64(rt.Heap().Load(a))+int64(rt.Heap().Load(b)) < 0 {
+			violations++
+		}
+	}
+	return violations
+}
+
+func main() {
+	const rounds = 200
+
+	fmt.Println("SI-HTM without read promotion (plain snapshot isolation):")
+	v := run(false, rounds)
+	fmt.Printf("  %d/%d rounds violated the overdraft rule — the write skew SI admits\n\n", v, rounds)
+
+	fmt.Println("SI-HTM with the paper's §2.1 read promotion:")
+	v = run(true, rounds)
+	fmt.Printf("  %d/%d rounds violated the overdraft rule\n", v, rounds)
+	if v == 0 {
+		fmt.Println("  promotion turned the skew into a write-write conflict: invariant holds")
+	}
+}

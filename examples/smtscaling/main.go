@@ -1,0 +1,89 @@
+// SMTScaling: the TMCAM-sharing effect that makes plain HTM "practically
+// incompatible" with POWER8's SMT (paper §2.2), and how SI-HTM survives it.
+//
+// The same 8-thread transactional workload runs twice on each system:
+// once with the threads spread over 8 cores (each sees a full 64-line
+// TMCAM) and once stacked onto a single core as SMT-8 siblings (all
+// eight share one TMCAM). Regular transactions collapse when stacked;
+// SI-HTM's update transactions — bounded only by their small write sets —
+// keep committing, which is why the paper's Figures 6–10 show SI-HTM
+// alone scaling into the SMT region.
+//
+// Run with: go run ./examples/smtscaling
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"sihtm"
+)
+
+const (
+	threads      = 8
+	opsPerThread = 1500
+	readLines    = 40 // per-transaction read footprint: two overlapping txs overflow 64
+)
+
+// runPlacement executes the workload on a machine with the given layout.
+func runPlacement(cores, smtWays int, system string) (commits, capacityAborts, fallbacks uint64) {
+	rt := sihtm.New(sihtm.Config{
+		Cores:     cores,
+		SMTWays:   smtWays,
+		HeapLines: 1 << 14,
+	})
+	// Per-thread private arrays: no data conflicts at all — every abort
+	// below is a pure capacity effect.
+	arrays := make([][]sihtm.Addr, threads)
+	outs := make([]sihtm.Addr, threads)
+	for t := 0; t < threads; t++ {
+		arrays[t] = make([]sihtm.Addr, readLines)
+		for i := range arrays[t] {
+			arrays[t][i] = rt.Heap().AllocLine()
+		}
+		outs[t] = rt.Heap().AllocLine()
+	}
+	sys, err := rt.NewSystemByName(system, threads)
+	if err != nil {
+		panic(err)
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < opsPerThread; i++ {
+				sys.Atomic(id, sihtm.KindUpdate, func(ops sihtm.Ops) {
+					var sum uint64
+					for _, a := range arrays[id] {
+						sum += ops.Read(a)
+					}
+					ops.Write(outs[id], sum+uint64(i))
+				})
+			}
+		}(id)
+	}
+	wg.Wait()
+	s := sys.Collector().Snapshot()
+	return s.Commits, s.Aborts[sihtm.AbortCapacity], s.Fallbacks
+}
+
+func main() {
+	fmt.Printf("8 threads × %d-line read footprint, 64-line TMCAM per core, zero data conflicts\n\n", readLines)
+	fmt.Printf("%-8s %-22s %10s %16s %10s\n", "system", "placement", "commits", "capacity aborts", "fallbacks")
+	for _, system := range []string{"htm", "si-htm"} {
+		for _, placement := range []struct {
+			name          string
+			cores, smtWay int
+		}{
+			{"spread (8 cores×SMT-1)", 8, 8},
+			{"stacked (1 core×SMT-8)", 1, 8},
+		} {
+			c, cap, fb := runPlacement(placement.cores, placement.smtWay, system)
+			fmt.Printf("%-8s %-22s %10d %16d %10d\n", system, placement.name, c, cap, fb)
+		}
+	}
+	fmt.Println("\nstacked regular HTM shares 64 lines among 8 threads × 41-line footprints → thrash;")
+	fmt.Println("stacked SI-HTM tracks only the 1-line write sets → 8 lines of 64 in use.")
+}

@@ -1,0 +1,39 @@
+// Package clock provides the global logical clock used by the SI-HTM
+// state array (Algorithm 1 of the paper).
+//
+// The paper uses the POWER timebase register (mftb) to timestamp the
+// per-thread state word when a transaction begins. The algorithm only
+// requires that timestamps be strictly monotonic and never collide with
+// the two reserved state values (inactive = 0 and completed = 1), so a
+// shared atomic counter is a faithful substitute.
+package clock
+
+import "sync/atomic"
+
+// Reserved state-word values from Algorithm 1. A timestamp returned by
+// Now is always strictly greater than Completed.
+const (
+	Inactive  uint64 = 0
+	Completed uint64 = 1
+)
+
+// Clock is a strictly monotonic logical clock. The zero value is ready to
+// use; its first tick is Completed+1.
+type Clock struct {
+	t atomic.Uint64
+}
+
+// New returns a clock whose first tick is Completed+1.
+func New() *Clock { return &Clock{} }
+
+// Now returns a fresh timestamp, strictly greater than any previously
+// returned one and strictly greater than Completed.
+func (c *Clock) Now() uint64 {
+	return c.t.Add(1) + Completed
+}
+
+// Last returns the most recently issued timestamp, or Completed if no
+// timestamp has been issued yet. It is intended for tests and debugging.
+func (c *Clock) Last() uint64 {
+	return c.t.Load() + Completed
+}

@@ -1,0 +1,77 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNowIsMonotonic(t *testing.T) {
+	c := New()
+	prev := uint64(0)
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now <= prev {
+			t.Fatalf("Now() = %d, want > %d", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestNowNeverReturnsReservedValues(t *testing.T) {
+	c := New()
+	for i := 0; i < 100; i++ {
+		if now := c.Now(); now == Inactive || now == Completed {
+			t.Fatalf("Now() returned reserved value %d", now)
+		}
+	}
+}
+
+func TestFirstTick(t *testing.T) {
+	c := New()
+	if got := c.Now(); got != Completed+1 {
+		t.Fatalf("first Now() = %d, want %d", got, Completed+1)
+	}
+}
+
+func TestLast(t *testing.T) {
+	c := New()
+	if got := c.Last(); got != Completed {
+		t.Fatalf("Last() before any tick = %d, want %d", got, Completed)
+	}
+	want := c.Now()
+	if got := c.Last(); got != want {
+		t.Fatalf("Last() = %d, want %d", got, want)
+	}
+}
+
+func TestConcurrentTicksAreUnique(t *testing.T) {
+	const goroutines = 8
+	const perGoroutine = 2000
+	c := New()
+	var wg sync.WaitGroup
+	results := make([][]uint64, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			out := make([]uint64, perGoroutine)
+			for i := range out {
+				out[i] = c.Now()
+			}
+			results[g] = out
+		}(g)
+	}
+	wg.Wait()
+	seen := make(map[uint64]bool, goroutines*perGoroutine)
+	for _, out := range results {
+		for _, ts := range out {
+			if seen[ts] {
+				t.Fatalf("timestamp %d issued twice", ts)
+			}
+			seen[ts] = true
+		}
+	}
+	if len(seen) != goroutines*perGoroutine {
+		t.Fatalf("issued %d unique timestamps, want %d", len(seen), goroutines*perGoroutine)
+	}
+}

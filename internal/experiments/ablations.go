@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/hashmap"
+	"sihtm/internal/workload/tpcc"
+)
+
+// Experiment is a runnable unit: a figure reproduction or an ablation.
+type Experiment struct {
+	ID, Title string
+	// Run executes the experiment, streaming progress, and returns the
+	// final report text.
+	Run func(progress io.Writer) (string, error)
+}
+
+// sweepExperiment wraps a harness.Sweep into an Experiment whose report
+// contains the figure's two panels plus the peak-speedup summary line.
+func sweepExperiment(s *harness.Sweep, highlight string) Experiment {
+	return Experiment{
+		ID:    s.ID,
+		Title: s.Title,
+		Run: func(progress io.Writer) (string, error) {
+			results, err := s.Execute(progress)
+			if err != nil {
+				return "", err
+			}
+			var b strings.Builder
+			harness.FormatThroughputTable(&b, s.Title, results)
+			b.WriteString("\n")
+			harness.FormatAbortTable(&b, s.Title, results)
+			b.WriteString("\n")
+			b.WriteString(harness.SpeedupSummary(results, highlight))
+			b.WriteString("\n\ncsv:\n")
+			harness.FormatCSV(&b, results)
+			return b.String(), nil
+		},
+	}
+}
+
+// CapacityCliff is ablation A1: single-threaded transactions with a
+// growing read footprint and a single-line write set, contrasting plain
+// HTM (reads consume the 64-line TMCAM → abort cliff) with SI-HTM
+// (write-set-bounded → flat). This isolates the paper's §2.2/§3 capacity
+// claim from all concurrency effects.
+func CapacityCliff(sc Scale) Experiment {
+	sc = sc.withDefaults()
+	footprints := []int{8, 16, 32, 48, 60, 64, 72, 96, 128, 256}
+	systems := []string{"htm", "si-htm"}
+	return Experiment{
+		ID:    "capacity",
+		Title: "Ablation A1: read-footprint sweep (single thread, TMCAM = 64 lines)",
+		Run: func(progress io.Writer) (string, error) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "Ablation A1 — abort/fall-back behaviour vs read footprint (lines)\n")
+			fmt.Fprintf(&b, "%10s %10s %14s %14s %12s\n", "system", "footprint", "tx/s", "capacity-ab/op", "fallback/op")
+			for _, fp := range footprints {
+				for _, name := range systems {
+					heap, m := machine(fp*4 + 1<<12)
+					lines := make([]memsim.Addr, fp)
+					for i := range lines {
+						lines[i] = heap.AllocLine()
+					}
+					out := heap.AllocLine()
+					sys, err := newSystem(name, m, heap, 1)
+					if err != nil {
+						return "", err
+					}
+					mkWorker := func(int) func() {
+						return func() {
+							sys.Atomic(0, tm.KindUpdate, func(ops tm.Ops) {
+								var sum uint64
+								for _, a := range lines {
+									sum += ops.Read(a)
+								}
+								ops.Write(out, sum)
+							})
+						}
+					}
+					r := harness.Run(sys, 1, sc.Warmup/4, sc.Measure/2, mkWorker)
+					ops := float64(r.Stats.Commits)
+					if ops == 0 {
+						ops = 1
+					}
+					fmt.Fprintf(&b, "%10s %10d %14.0f %14.2f %12.2f\n",
+						name, fp, r.Throughput,
+						float64(r.Stats.Aborts[stats.AbortCapacity])/ops,
+						float64(r.Stats.Fallbacks)/ops)
+					if progress != nil {
+						fmt.Fprintf(progress, "  capacity: %s fp=%d done\n", name, fp)
+					}
+				}
+			}
+			return b.String(), nil
+		},
+	}
+}
+
+// TMCAMSize is ablation A2: the hash-map 90%-RO large workload at a fixed
+// thread count under varying TMCAM sizes, showing the sensitivity of both
+// systems to the hardware buffer.
+func TMCAMSize(sc Scale) Experiment {
+	sc = sc.withDefaults()
+	sizes := []int{16, 32, 64, 128, 256}
+	systems := []string{"htm", "si-htm"}
+	const threads = 8
+	return Experiment{
+		ID:    "tmcam",
+		Title: "Ablation A2: TMCAM size sweep (hash-map large 90% RO, 8 threads)",
+		Run: func(progress io.Writer) (string, error) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "Ablation A2 — throughput vs TMCAM lines (8 threads)\n")
+			fmt.Fprintf(&b, "%10s %8s %14s %16s\n", "system", "tmcam", "tx/s", "capacity-aborts%")
+			cfg := hashmap.BenchConfig{
+				Buckets:           lowBuckets,
+				ElementsPerBucket: largeChain / sc.WorkloadDiv,
+				ReadOnlyPercent:   roHeavy,
+				Seed:              5,
+			}
+			if cfg.ElementsPerBucket < 2 {
+				cfg.ElementsPerBucket = 2
+			}
+			for _, size := range sizes {
+				for _, name := range systems {
+					heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+					m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper(), TMCAMLines: size})
+					bench, err := hashmap.NewBenchmark(heap, cfg)
+					if err != nil {
+						return "", err
+					}
+					sys, err := newSystem(name, m, heap, threads)
+					if err != nil {
+						return "", err
+					}
+					mkWorker := func(thread int) func() {
+						w := bench.NewWorker(sys, thread, uint64(77+thread))
+						return w.Op
+					}
+					r := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
+					fmt.Fprintf(&b, "%10s %8d %14.0f %15.1f%%\n",
+						name, size, r.Throughput, r.AbortPercent(stats.AbortCapacity))
+					if progress != nil {
+						fmt.Fprintf(progress, "  tmcam: %s size=%d done\n", name, size)
+					}
+				}
+			}
+			return b.String(), nil
+		},
+	}
+}
+
+// ROFastPath is ablation A3: SI-HTM with and without the read-only fast
+// path on the read-heavy hash-map, isolating the quiescence the fast path
+// saves.
+func ROFastPath(sc Scale) Experiment {
+	sc = sc.withDefaults()
+	s := HashmapSweep("rofast",
+		"Ablation A3: SI-HTM read-only fast path on vs off (hash-map large 90% RO, low contention)",
+		lowBuckets, largeChain, roHeavy,
+		[]string{"si-htm", "si-htm-noro"}, sc)
+	return sweepExperiment(s, "si-htm")
+}
+
+// KillerPolicy is ablation A4a: the §6 killing policy on the
+// high-contention 50% update hash-map, where laggards prolong quiescence.
+func KillerPolicy(sc Scale) Experiment {
+	sc = sc.withDefaults()
+	s := HashmapSweep("killer",
+		"Ablation A4a: §6 killing policy (hash-map large 50% RO, high contention)",
+		highBuckets, largeChain, roBalanced,
+		[]string{"si-htm", "si-htm-killer"}, sc)
+	return sweepExperiment(s, "si-htm-killer")
+}
+
+// SMTPlacement is ablation A5: a fixed 8-thread TPC-C run placed either
+// one thread per core (SMT-1) or stacked on a single core (SMT-8),
+// measuring the cost of TMCAM sharing directly.
+func SMTPlacement(sc Scale) Experiment {
+	sc = sc.withDefaults()
+	systems := []string{"htm", "si-htm"}
+	const threads = 8
+	return Experiment{
+		ID:    "smt",
+		Title: "Ablation A5: SMT placement (TPC-C standard mix, 8 threads, spread vs stacked)",
+		Run: func(progress io.Writer) (string, error) {
+			var b strings.Builder
+			fmt.Fprintf(&b, "Ablation A5 — 8 threads spread (8 cores) vs stacked (1 core × SMT-8)\n")
+			fmt.Fprintf(&b, "%10s %10s %14s %16s\n", "system", "placement", "tx/s", "capacity-aborts%")
+			for _, stacked := range []bool{false, true} {
+				topo := topology.New(8, 8)
+				if stacked {
+					topo = topology.New(1, 8)
+				}
+				for _, name := range systems {
+					cfg := tpcc.Config{Warehouses: 8, ScaleDiv: 10 * sc.WorkloadDiv, Seed: 9}
+					heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+					m := htm.NewMachine(heap, htm.Config{Topology: topo})
+					db, err := tpcc.NewDB(heap, cfg)
+					if err != nil {
+						return "", err
+					}
+					sys, err := newSystem(name, m, heap, threads)
+					if err != nil {
+						return "", err
+					}
+					mkWorker := func(thread int) func() {
+						w, err := db.NewWorker(sys, thread, tpcc.StandardMix, uint64(55+thread))
+						if err != nil {
+							panic(err)
+						}
+						return func() { w.Op() }
+					}
+					r := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
+					placement := "spread"
+					if stacked {
+						placement = "stacked"
+					}
+					fmt.Fprintf(&b, "%10s %10s %14.0f %15.1f%%\n",
+						name, placement, r.Throughput, r.AbortPercent(stats.AbortCapacity))
+					if err := db.CheckConsistency(); err != nil {
+						return "", fmt.Errorf("smt %s/%s: %w", name, placement, err)
+					}
+					if progress != nil {
+						fmt.Fprintf(progress, "  smt: %s %s done\n", name, placement)
+					}
+				}
+			}
+			return b.String(), nil
+		},
+	}
+}
+
+// All returns every experiment (figures first, then ablations), keyed and
+// ordered.
+func All(sc Scale) ([]Experiment, map[string]Experiment) {
+	var list []Experiment
+	figs := Figures(sc)
+	for _, id := range FigureOrder {
+		list = append(list, sweepExperiment(figs[id], "si-htm"))
+	}
+	list = append(list,
+		CapacityCliff(sc),
+		TMCAMSize(sc),
+		ROFastPath(sc),
+		KillerPolicy(sc),
+		SMTPlacement(sc),
+	)
+	byID := make(map[string]Experiment, len(list))
+	for _, e := range list {
+		byID[e.ID] = e
+	}
+	return list, byID
+}

@@ -1,0 +1,260 @@
+// Package experiments defines, as data, every experiment of the paper's
+// evaluation (§4, Figures 6–10) plus this reproduction's ablations, so
+// that the benchmark binary (cmd/sihtm-bench) and the testing.B harness
+// (bench_test.go) regenerate exactly the same runs.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/htmtm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/p8tm"
+	"sihtm/internal/sgl"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/silo"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/hashmap"
+	"sihtm/internal/workload/tpcc"
+)
+
+// Scale shrinks an experiment for quick runs: 1 = the paper's shape
+// (10-core ladder to 80 threads, full workload sizes); larger values
+// shrink workload sizes and the thread ladder for CI-friendly runs.
+type Scale struct {
+	// MaxThreads caps the thread ladder (0 = no cap).
+	MaxThreads int
+	// WorkloadDiv divides workload sizes (hash-map population, TPC-C
+	// warehouse cap). 0 = 1.
+	WorkloadDiv int
+	// Warmup and Measure override the run windows if non-zero.
+	Warmup, Measure time.Duration
+}
+
+func (s Scale) withDefaults() Scale {
+	if s.WorkloadDiv == 0 {
+		s.WorkloadDiv = 1
+	}
+	if s.Warmup == 0 {
+		s.Warmup = 150 * time.Millisecond
+	}
+	if s.Measure == 0 {
+		s.Measure = 600 * time.Millisecond
+	}
+	return s
+}
+
+func (s Scale) threads(ladder []int) []int {
+	if s.MaxThreads <= 0 {
+		return ladder
+	}
+	var out []int
+	for _, n := range ladder {
+		if n <= s.MaxThreads {
+			out = append(out, n)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{s.MaxThreads}
+	}
+	return out
+}
+
+// machine builds the paper's 10-core SMT-8 machine over a fresh heap.
+func machine(heapLines int) (*memsim.Heap, *htm.Machine) {
+	heap := memsim.NewHeapLines(heapLines)
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+	return heap, m
+}
+
+// newSystem builds a named system over the given machine/heap.
+func newSystem(name string, m *htm.Machine, heap *memsim.Heap, threads int) (tm.System, error) {
+	switch name {
+	case "htm":
+		return htmtm.NewSystem(m, threads, htmtm.Config{}), nil
+	case "si-htm":
+		return sihtm.NewSystem(m, threads, sihtm.Config{}), nil
+	case "si-htm-noro":
+		return sihtm.NewSystem(m, threads, sihtm.Config{DisableROFastPath: true}), nil
+	case "si-htm-killer":
+		return sihtm.NewSystem(m, threads, sihtm.Config{KillerSpins: 1 << 12}), nil
+	case "p8tm":
+		return p8tm.NewSystem(m, threads, p8tm.Config{}), nil
+	case "silo":
+		return silo.NewSystem(heap, threads), nil
+	case "sgl":
+		return sgl.NewSystem(m, threads), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown system %q", name)
+	}
+}
+
+// HashmapSweep builds the sweep for one hash-map figure panel.
+//
+// The paper's parameters: large footprint = 200 elements/bucket, short =
+// 50; low contention = 1000 buckets, high = 10; read-only share 90% or
+// 50%; systems HTM vs SI-HTM; thread ladder 1..80 on 10 cores.
+func HashmapSweep(id, title string, buckets, elemsPerBucket, roPercent int, systems []string, sc Scale) *harness.Sweep {
+	sc = sc.withDefaults()
+	b := buckets
+	e := elemsPerBucket / sc.WorkloadDiv
+	if e < 2 {
+		e = 2
+	}
+	return &harness.Sweep{
+		ID:           id,
+		Title:        title,
+		Systems:      systems,
+		ThreadCounts: sc.threads(topology.PaperThreadLadder),
+		Warmup:       sc.Warmup,
+		Measure:      sc.Measure,
+		Setup: func(system string, threads int) (tm.System, func(int) func(), func() error, error) {
+			cfg := hashmap.BenchConfig{
+				Buckets:           b,
+				ElementsPerBucket: e,
+				ReadOnlyPercent:   roPercent,
+				Seed:              uint64(threads)*31 + 7,
+			}
+			heap, m := machine(cfg.HeapLinesNeeded() + (1 << 14))
+			bench, err := hashmap.NewBenchmark(heap, cfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			sys, err := newSystem(system, m, heap, threads)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			mkWorker := func(thread int) func() {
+				w := bench.NewWorker(sys, thread, uint64(1000*threads+thread))
+				return w.Op
+			}
+			initial := bench.Map.Size()
+			check := func() error {
+				size := bench.Map.Size()
+				if size < initial-2*threads || size > initial+2*threads {
+					return fmt.Errorf("hash-map size drifted %d → %d", initial, size)
+				}
+				return nil
+			}
+			return sys, mkWorker, check, nil
+		},
+	}
+}
+
+// TPCCSweep builds the sweep for one TPC-C figure panel.
+//
+// lowContention selects the warehouse count: the paper's low-contention
+// runs give threads their own warehouses (capped), the high-contention
+// runs share a single warehouse.
+func TPCCSweep(id, title string, mix tpcc.Mix, lowContention bool, systems []string, sc Scale) *harness.Sweep {
+	sc = sc.withDefaults()
+	return &harness.Sweep{
+		ID:           id,
+		Title:        title,
+		Systems:      systems,
+		ThreadCounts: sc.threads(topology.PaperThreadLadder),
+		Warmup:       sc.Warmup,
+		Measure:      sc.Measure,
+		Setup: func(system string, threads int) (tm.System, func(int) func(), func() error, error) {
+			warehouses := 1
+			if lowContention {
+				warehouses = threads
+				if warehouses > 16/sc.WorkloadDiv {
+					warehouses = 16 / sc.WorkloadDiv
+				}
+				if warehouses < 1 {
+					warehouses = 1
+				}
+			}
+			cfg := tpcc.Config{
+				Warehouses: warehouses,
+				ScaleDiv:   10 * sc.WorkloadDiv,
+				Seed:       uint64(threads)*17 + 3,
+			}
+			heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+			db, err := tpcc.NewDB(heap, cfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			sys, err := newSystem(system, m, heap, threads)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			mkWorker := func(thread int) func() {
+				w, err := db.NewWorker(sys, thread, mix, uint64(100*threads+thread))
+				if err != nil {
+					panic(err)
+				}
+				return func() { w.Op() }
+			}
+			return sys, mkWorker, db.CheckConsistency, nil
+		},
+	}
+}
+
+// hashmap figure parameters (paper §4.1).
+const (
+	largeChain  = 200
+	shortChain  = 50
+	lowBuckets  = 1000
+	highBuckets = 10
+	roHeavy     = 90
+	roBalanced  = 50
+)
+
+// htmVsSIHTM are the systems in the hash-map figures.
+var htmVsSIHTM = []string{"htm", "si-htm"}
+
+// tpccSystems are the systems in the TPC-C figures (paper order).
+var tpccSystems = []string{"htm", "si-htm", "p8tm", "silo"}
+
+// Figures returns the sweeps reproducing the paper's Figures 6–10, two
+// panels (low/high contention) each.
+func Figures(sc Scale) map[string]*harness.Sweep {
+	return map[string]*harness.Sweep{
+		"fig6-low": HashmapSweep("fig6-low",
+			"Figure 6 (left): hash-map, 90% large read-only txs, low contention",
+			lowBuckets, largeChain, roHeavy, htmVsSIHTM, sc),
+		"fig6-high": HashmapSweep("fig6-high",
+			"Figure 6 (right): hash-map, 90% large read-only txs, high contention",
+			highBuckets, largeChain, roHeavy, htmVsSIHTM, sc),
+		"fig7-low": HashmapSweep("fig7-low",
+			"Figure 7 (left): hash-map, 50% large read-only txs, low contention",
+			lowBuckets, largeChain, roBalanced, htmVsSIHTM, sc),
+		"fig7-high": HashmapSweep("fig7-high",
+			"Figure 7 (right): hash-map, 50% large read-only txs, high contention",
+			highBuckets, largeChain, roBalanced, htmVsSIHTM, sc),
+		"fig8-low": HashmapSweep("fig8-low",
+			"Figure 8 (left): hash-map, 90% small txs, low contention",
+			lowBuckets, shortChain, roHeavy, htmVsSIHTM, sc),
+		"fig8-high": HashmapSweep("fig8-high",
+			"Figure 8 (right): hash-map, 90% small txs, high contention",
+			highBuckets, shortChain, roHeavy, htmVsSIHTM, sc),
+		"fig9-low": TPCCSweep("fig9-low",
+			"Figure 9 (left): TPC-C standard mix, low contention",
+			tpcc.StandardMix, true, tpccSystems, sc),
+		"fig9-high": TPCCSweep("fig9-high",
+			"Figure 9 (right): TPC-C standard mix, high contention",
+			tpcc.StandardMix, false, tpccSystems, sc),
+		"fig10-low": TPCCSweep("fig10-low",
+			"Figure 10 (left): TPC-C read-dominated mix, low contention",
+			tpcc.ReadDominatedMix, true, tpccSystems, sc),
+		"fig10-high": TPCCSweep("fig10-high",
+			"Figure 10 (right): TPC-C read-dominated mix, high contention",
+			tpcc.ReadDominatedMix, false, tpccSystems, sc),
+	}
+}
+
+// FigureOrder lists figure ids in presentation order.
+var FigureOrder = []string{
+	"fig6-low", "fig6-high",
+	"fig7-low", "fig7-high",
+	"fig8-low", "fig8-high",
+	"fig9-low", "fig9-high",
+	"fig10-low", "fig10-high",
+}

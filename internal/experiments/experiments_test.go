@@ -1,0 +1,147 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func quickScale() Scale {
+	return Scale{
+		MaxThreads:  2,
+		WorkloadDiv: 20,
+		Warmup:      2 * time.Millisecond,
+		Measure:     20 * time.Millisecond,
+	}
+}
+
+func TestFigureRegistryIsComplete(t *testing.T) {
+	figs := Figures(quickScale())
+	if len(FigureOrder) != 10 {
+		t.Fatalf("FigureOrder has %d entries, want 10 (Figures 6-10 × 2 panels)", len(FigureOrder))
+	}
+	for _, id := range FigureOrder {
+		s, ok := figs[id]
+		if !ok {
+			t.Fatalf("figure %q missing from registry", id)
+		}
+		if s.ID != id {
+			t.Errorf("figure %q has mismatched ID %q", id, s.ID)
+		}
+		if len(s.Systems) < 2 {
+			t.Errorf("figure %q has %d systems", id, len(s.Systems))
+		}
+	}
+}
+
+func TestAllRegistry(t *testing.T) {
+	list, byID := All(quickScale())
+	if len(list) != 15 { // 10 figure panels + 5 ablations
+		t.Fatalf("All() = %d experiments, want 15", len(list))
+	}
+	for _, e := range list {
+		if byID[e.ID].ID != e.ID {
+			t.Errorf("experiment %q not indexed", e.ID)
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+}
+
+func TestScaleThreads(t *testing.T) {
+	sc := Scale{MaxThreads: 8}
+	got := sc.threads([]int{1, 2, 4, 8, 16, 80})
+	want := []int{1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("threads = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("threads = %v, want %v", got, want)
+		}
+	}
+	// A cap below the ladder yields the cap itself.
+	sc = Scale{MaxThreads: 3}
+	got = Scale{MaxThreads: 0}.threads([]int{5})
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("uncapped ladder mangled: %v", got)
+	}
+	got = sc.threads([]int{4, 8})
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("below-ladder cap: %v, want [3]", got)
+	}
+}
+
+func TestNewSystemNames(t *testing.T) {
+	heap, m := machine(1 << 8)
+	for _, name := range []string{"htm", "si-htm", "si-htm-noro", "si-htm-killer", "p8tm", "silo", "sgl"} {
+		sys, err := newSystem(name, m, heap, 1)
+		if err != nil {
+			t.Fatalf("newSystem(%q): %v", name, err)
+		}
+		if sys == nil {
+			t.Fatalf("newSystem(%q) returned nil", name)
+		}
+	}
+	if _, err := newSystem("bogus", m, heap, 1); err == nil {
+		t.Fatal("bogus system accepted")
+	}
+}
+
+// A miniature end-to-end run of one hash-map figure and one TPC-C figure:
+// the sweeps execute, produce reports with both panels, and pass their
+// post-run checks.
+func TestMiniatureFigureRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("miniature figure runs take a few seconds")
+	}
+	sc := quickScale()
+	for _, id := range []string{"fig6-high", "fig9-high"} {
+		t.Run(id, func(t *testing.T) {
+			_, byID := All(sc)
+			e := byID[id]
+			report, err := e.Run(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, want := range []string{"throughput", "aborts", "csv:", "si-htm"} {
+				if !strings.Contains(report, want) {
+					t.Errorf("report missing %q", want)
+				}
+			}
+		})
+	}
+}
+
+// The capacity-cliff ablation must show the cliff: plain HTM's
+// capacity-abort rate at 96 lines is high while SI-HTM's stays zero.
+func TestCapacityCliffShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation run takes a few seconds")
+	}
+	e := CapacityCliff(quickScale())
+	report, err := e.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHTMCliff, sawSIFlat bool
+	for _, line := range strings.Split(report, "\n") {
+		f := strings.Fields(line)
+		if len(f) != 5 {
+			continue
+		}
+		if f[0] == "htm" && f[1] == "96" && f[3] != "0.00" {
+			sawHTMCliff = true
+		}
+		if f[0] == "si-htm" && f[1] == "96" && f[3] == "0.00" {
+			sawSIFlat = true
+		}
+	}
+	if !sawHTMCliff {
+		t.Errorf("HTM capacity cliff at 96 lines not visible:\n%s", report)
+	}
+	if !sawSIFlat {
+		t.Errorf("SI-HTM not flat at 96 lines:\n%s", report)
+	}
+}

@@ -1,0 +1,276 @@
+// Package harness runs the paper's experiments: timed, multi-threaded
+// sweeps over (system × thread-count) with warm-up, per-window statistics
+// deltas, and the throughput/abort-breakdown tables that correspond to
+// the two panels of each figure in §4.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+)
+
+// Result is one (system, thread-count) measurement.
+type Result struct {
+	System     string
+	Threads    int
+	Elapsed    time.Duration
+	Stats      stats.Stats // measurement-window delta
+	Throughput float64     // committed transactions per second
+}
+
+// AbortPercent returns the share of attempts aborted with kind, in
+// percent — the paper's abort-breakdown panels.
+func (r Result) AbortPercent(kind stats.AbortKind) float64 {
+	return 100 * r.Stats.AbortShare(kind)
+}
+
+// Run drives `threads` workers against sys for the given windows. Each
+// worker repeatedly invokes the op closure returned by mkWorker for its
+// thread id. Only activity inside the measurement window is reported.
+func Run(sys tm.System, threads int, warmup, measure time.Duration, mkWorker func(thread int) func()) Result {
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			op := mkWorker(id)
+			for !stop.Load() {
+				op()
+			}
+		}(id)
+	}
+	time.Sleep(warmup)
+	before := sys.Collector().Snapshot()
+	start := time.Now()
+	time.Sleep(measure)
+	after := sys.Collector().Snapshot()
+	elapsed := time.Since(start)
+	stop.Store(true)
+	wg.Wait()
+
+	delta := after.Sub(before)
+	return Result{
+		System:     sys.Name(),
+		Threads:    threads,
+		Elapsed:    elapsed,
+		Stats:      delta,
+		Throughput: float64(delta.Commits) / elapsed.Seconds(),
+	}
+}
+
+// RunOps drives the workers for a fixed op count per thread instead of a
+// time window (used by deterministic tests and testing.B benchmarks).
+func RunOps(sys tm.System, threads, opsPerThread int, mkWorker func(thread int) func()) Result {
+	before := sys.Collector().Snapshot()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			op := mkWorker(id)
+			for i := 0; i < opsPerThread; i++ {
+				op()
+			}
+		}(id)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	delta := sys.Collector().Snapshot().Sub(before)
+	return Result{
+		System:     sys.Name(),
+		Threads:    threads,
+		Elapsed:    elapsed,
+		Stats:      delta,
+		Throughput: float64(delta.Commits) / elapsed.Seconds(),
+	}
+}
+
+// Sweep is a full experiment: for every thread count and system, Setup
+// builds a fresh workload and the harness measures it.
+type Sweep struct {
+	// ID and Title identify the experiment (e.g. "fig6-low", "Hash-map
+	// 90% large read-only txs, low contention").
+	ID, Title string
+	// Systems are benchmark names in display order.
+	Systems []string
+	// ThreadCounts is the x-axis (the paper: 1,2,4,8,16,32,40,80).
+	ThreadCounts []int
+	// Warmup and Measure are the run windows per point.
+	Warmup, Measure time.Duration
+	// Setup builds a fresh system + workload for one run. The returned
+	// check (may be nil) runs quiescently after the run; a non-nil error
+	// fails the sweep.
+	Setup func(system string, threads int) (sys tm.System, mkWorker func(thread int) func(), check func() error, err error)
+}
+
+// Execute runs the sweep, writing progress lines to progress (if non-nil),
+// and returns results indexed [threadCount][system].
+func (s *Sweep) Execute(progress io.Writer) ([]Result, error) {
+	var results []Result
+	for _, n := range s.ThreadCounts {
+		for _, name := range s.Systems {
+			sys, mkWorker, check, err := s.Setup(name, n)
+			if err != nil {
+				return nil, fmt.Errorf("%s: setup %s/%d: %w", s.ID, name, n, err)
+			}
+			r := Run(sys, n, s.Warmup, s.Measure, mkWorker)
+			// Label with the sweep's system key: variant sweeps (e.g. the
+			// killer-policy ablation) compare two configurations of one
+			// system, which share a Name().
+			r.System = name
+			if check != nil {
+				if err := check(); err != nil {
+					return nil, fmt.Errorf("%s: %s/%d threads: post-run check: %w", s.ID, name, n, err)
+				}
+			}
+			results = append(results, r)
+			if progress != nil {
+				fmt.Fprintf(progress, "  %-8s %3d threads: %12.0f tx/s  aborts %5.1f%% (tx %4.1f%% | non-tx %4.1f%% | cap %4.1f%%)  fallbacks %d\n",
+					name, n, r.Throughput, 100*r.Stats.AbortRate(),
+					r.AbortPercent(stats.AbortTransactional),
+					r.AbortPercent(stats.AbortNonTransactional),
+					r.AbortPercent(stats.AbortCapacity),
+					r.Stats.Fallbacks)
+			}
+		}
+	}
+	return results, nil
+}
+
+// FormatThroughputTable renders the figure's throughput panel: one row
+// per thread count, one column per system.
+func FormatThroughputTable(w io.Writer, title string, results []Result) {
+	systems := systemOrder(results)
+	fmt.Fprintf(w, "%s — throughput (tx/s)\n", title)
+	fmt.Fprintf(w, "%8s", "threads")
+	for _, s := range systems {
+		fmt.Fprintf(w, " %14s", s)
+	}
+	fmt.Fprintln(w)
+	for _, n := range threadOrder(results) {
+		fmt.Fprintf(w, "%8d", n)
+		for _, s := range systems {
+			if r, ok := lookup(results, s, n); ok {
+				fmt.Fprintf(w, " %14.0f", r.Throughput)
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FormatAbortTable renders the figure's abort panel: per thread count and
+// system, the percentage of attempts aborted, split by cause.
+func FormatAbortTable(w io.Writer, title string, results []Result) {
+	systems := systemOrder(results)
+	fmt.Fprintf(w, "%s — aborts (%% of attempts: transactional/non-transactional/capacity)\n", title)
+	fmt.Fprintf(w, "%8s", "threads")
+	for _, s := range systems {
+		fmt.Fprintf(w, " %20s", s)
+	}
+	fmt.Fprintln(w)
+	for _, n := range threadOrder(results) {
+		fmt.Fprintf(w, "%8d", n)
+		for _, s := range systems {
+			if r, ok := lookup(results, s, n); ok {
+				fmt.Fprintf(w, "    %5.1f/%5.1f/%5.1f",
+					r.AbortPercent(stats.AbortTransactional),
+					r.AbortPercent(stats.AbortNonTransactional),
+					r.AbortPercent(stats.AbortCapacity))
+			} else {
+				fmt.Fprintf(w, " %20s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// FormatCSV renders results machine-readably (one row per measurement).
+func FormatCSV(w io.Writer, results []Result) {
+	fmt.Fprintln(w, "system,threads,throughput_tx_s,commits,commits_ro,aborts_tx,aborts_nontx,aborts_capacity,aborts_other,fallbacks,abort_rate")
+	for _, r := range results {
+		fmt.Fprintf(w, "%s,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%.4f\n",
+			r.System, r.Threads, r.Throughput,
+			r.Stats.Commits, r.Stats.CommitsRO,
+			r.Stats.Aborts[stats.AbortTransactional],
+			r.Stats.Aborts[stats.AbortNonTransactional],
+			r.Stats.Aborts[stats.AbortCapacity],
+			r.Stats.Aborts[stats.AbortExplicit]+r.Stats.Aborts[stats.AbortOther],
+			r.Stats.Fallbacks,
+			r.Stats.AbortRate())
+	}
+}
+
+func systemOrder(results []Result) []string {
+	var names []string
+	seen := map[string]bool{}
+	for _, r := range results {
+		if !seen[r.System] {
+			seen[r.System] = true
+			names = append(names, r.System)
+		}
+	}
+	return names
+}
+
+func threadOrder(results []Result) []int {
+	var ns []int
+	seen := map[int]bool{}
+	for _, r := range results {
+		if !seen[r.Threads] {
+			seen[r.Threads] = true
+			ns = append(ns, r.Threads)
+		}
+	}
+	sort.Ints(ns)
+	return ns
+}
+
+func lookup(results []Result, system string, threads int) (Result, bool) {
+	for _, r := range results {
+		if r.System == system && r.Threads == threads {
+			return r, true
+		}
+	}
+	return Result{}, false
+}
+
+// Peak returns the best throughput a system reached across thread counts.
+func Peak(results []Result, system string) Result {
+	var best Result
+	for _, r := range results {
+		if r.System == system && r.Throughput > best.Throughput {
+			best = r
+		}
+	}
+	return best
+}
+
+// SpeedupSummary reports peak-vs-peak speedups of `of` over every other
+// system, as the paper quotes (e.g. "+300% over HTM").
+func SpeedupSummary(results []Result, of string) string {
+	var b strings.Builder
+	peak := Peak(results, of)
+	fmt.Fprintf(&b, "%s peak: %.0f tx/s @ %d threads", of, peak.Throughput, peak.Threads)
+	for _, s := range systemOrder(results) {
+		if s == of {
+			continue
+		}
+		other := Peak(results, s)
+		if other.Throughput > 0 {
+			fmt.Fprintf(&b, "; vs %s %+.0f%%", s, 100*(peak.Throughput/other.Throughput-1))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,174 @@
+package harness_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/sgl"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+)
+
+func newSIHTM(threads int) (tm.System, *memsim.Heap) {
+	heap := memsim.NewHeapLines(1 << 10)
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.New(4, 2)})
+	return sihtm.NewSystem(m, threads, sihtm.Config{}), heap
+}
+
+func TestRunMeasuresOnlyTheWindow(t *testing.T) {
+	sys, heap := newSIHTM(2)
+	x := heap.AllocLine()
+	r := harness.Run(sys, 2, 20*time.Millisecond, 100*time.Millisecond, func(thread int) func() {
+		return func() {
+			sys.Atomic(thread, tm.KindUpdate, func(ops tm.Ops) {
+				ops.Write(x, ops.Read(x)+1)
+			})
+		}
+	})
+	if r.System != "si-htm" || r.Threads != 2 {
+		t.Fatalf("result identity: %+v", r)
+	}
+	if r.Stats.Commits == 0 {
+		t.Fatal("no commits measured")
+	}
+	// The window delta must be smaller than the total (warm-up excluded).
+	total := sys.Collector().Snapshot()
+	if r.Stats.Commits >= total.Commits {
+		t.Fatalf("window commits %d >= total %d; warm-up not excluded", r.Stats.Commits, total.Commits)
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+}
+
+func TestRunOpsIsExact(t *testing.T) {
+	sys, heap := newSIHTM(3)
+	x := heap.AllocLine()
+	r := harness.RunOps(sys, 3, 100, func(thread int) func() {
+		return func() {
+			sys.Atomic(thread, tm.KindUpdate, func(ops tm.Ops) {
+				ops.Write(x, ops.Read(x)+1)
+			})
+		}
+	})
+	if r.Stats.Commits != 300 {
+		t.Fatalf("commits = %d, want 300", r.Stats.Commits)
+	}
+	if got := heap.Load(x); got != 300 {
+		t.Fatalf("counter = %d, want 300", got)
+	}
+}
+
+func TestSweepExecuteAndTables(t *testing.T) {
+	s := &harness.Sweep{
+		ID:           "test",
+		Title:        "test sweep",
+		Systems:      []string{"sgl", "si-htm"},
+		ThreadCounts: []int{1, 2},
+		Warmup:       5 * time.Millisecond,
+		Measure:      30 * time.Millisecond,
+		Setup: func(system string, threads int) (tm.System, func(int) func(), func() error, error) {
+			heap := memsim.NewHeapLines(1 << 8)
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.New(2, 2)})
+			var sys tm.System
+			if system == "sgl" {
+				sys = sgl.NewSystem(m, threads)
+			} else {
+				sys = sihtm.NewSystem(m, threads, sihtm.Config{})
+			}
+			x := heap.AllocLine()
+			mk := func(thread int) func() {
+				return func() {
+					sys.Atomic(thread, tm.KindUpdate, func(ops tm.Ops) {
+						ops.Write(x, ops.Read(x)+1)
+					})
+				}
+			}
+			return sys, mk, func() error { return nil }, nil
+		},
+	}
+	var progress strings.Builder
+	results, err := s.Execute(&progress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("results = %d, want 4 (2 systems × 2 thread counts)", len(results))
+	}
+	if !strings.Contains(progress.String(), "sgl") {
+		t.Error("progress output missing system names")
+	}
+
+	var tb strings.Builder
+	harness.FormatThroughputTable(&tb, "T", results)
+	out := tb.String()
+	for _, want := range []string{"threads", "sgl", "si-htm", "\n       1", "\n       2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("throughput table missing %q:\n%s", want, out)
+		}
+	}
+
+	tb.Reset()
+	harness.FormatAbortTable(&tb, "T", results)
+	if !strings.Contains(tb.String(), "aborts") {
+		t.Error("abort table missing header")
+	}
+
+	tb.Reset()
+	harness.FormatCSV(&tb, results)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("csv rows = %d, want 5", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "system,threads,throughput") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestPeakAndSpeedupSummary(t *testing.T) {
+	results := []harness.Result{
+		{System: "htm", Threads: 1, Throughput: 100},
+		{System: "htm", Threads: 2, Throughput: 150},
+		{System: "si-htm", Threads: 1, Throughput: 200},
+		{System: "si-htm", Threads: 2, Throughput: 600},
+	}
+	p := harness.Peak(results, "si-htm")
+	if p.Throughput != 600 || p.Threads != 2 {
+		t.Fatalf("Peak = %+v", p)
+	}
+	s := harness.SpeedupSummary(results, "si-htm")
+	if !strings.Contains(s, "si-htm peak: 600") || !strings.Contains(s, "vs htm +300%") {
+		t.Fatalf("SpeedupSummary = %q", s)
+	}
+}
+
+func TestAbortPercent(t *testing.T) {
+	var r harness.Result
+	r.Stats.Commits = 50
+	r.Stats.Aborts[stats.AbortCapacity] = 50
+	if got := r.AbortPercent(stats.AbortCapacity); got != 50 {
+		t.Fatalf("AbortPercent = %v, want 50", got)
+	}
+}
+
+func TestSweepSetupErrorPropagates(t *testing.T) {
+	s := &harness.Sweep{
+		ID:           "broken",
+		Systems:      []string{"x"},
+		ThreadCounts: []int{1},
+		Warmup:       time.Millisecond,
+		Measure:      time.Millisecond,
+		Setup: func(string, int) (tm.System, func(int) func(), func() error, error) {
+			return nil, nil, nil, strings.NewReader("").UnreadRune()
+		},
+	}
+	if _, err := s.Execute(nil); err == nil {
+		t.Fatal("setup error swallowed")
+	}
+}

@@ -1,0 +1,149 @@
+package htm
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"sihtm/internal/memsim"
+)
+
+// The directory plays the role of the cache-coherence fabric: it knows,
+// per cache line, which live transactions hold the line in their write
+// set (at most one, exclusive) and which regular-mode transactions track
+// it in their read set. Every simulated memory access consults the
+// directory to detect conflicts exactly as a coherence snoop would.
+//
+// Each shard also keeps lock-free occupancy counters so that the
+// overwhelmingly common case — accessing a line nobody tracks — skips the
+// shard mutex entirely. This is what makes uninstrumented reads (ROT
+// reads, read-only fast-path reads) nearly free, reproducing the paper's
+// claim that SI-HTM adds no per-read software cost.
+
+// lineEntry records the transactional owners of one cache line.
+type lineEntry struct {
+	writer  *Tx   // exclusive transactional writer, or nil
+	readers []*Tx // regular-mode transactions tracking the line as read
+}
+
+// shard is one directory partition.
+type shard struct {
+	writers atomic.Int64 // entries in this shard with writer != nil
+	readers atomic.Int64 // total tracked-reader registrations in this shard
+	mu      sync.Mutex
+	lines   map[memsim.Line]*lineEntry
+	free    []*lineEntry // entry pool, guarded by mu
+	_       [64]byte
+}
+
+// shardOf maps a line to its shard with a Fibonacci hash.
+func (m *Machine) shardOf(line memsim.Line) *shard {
+	h := uint64(line) * 0x9e3779b97f4a7c15
+	return &m.shards[h>>(64-shardBits(len(m.shards)))]
+}
+
+// shardIndexOf returns the shard index for ordered multi-shard locking.
+func (m *Machine) shardIndexOf(line memsim.Line) int {
+	h := uint64(line) * 0x9e3779b97f4a7c15
+	return int(h >> (64 - shardBits(len(m.shards))))
+}
+
+func shardBits(n int) uint {
+	b := uint(0)
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// entry returns the lineEntry for line, creating it if needed. Caller
+// holds s.mu.
+func (s *shard) entry(line memsim.Line) *lineEntry {
+	if e, ok := s.lines[line]; ok {
+		return e
+	}
+	var e *lineEntry
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		e = &lineEntry{}
+	}
+	s.lines[line] = e
+	return e
+}
+
+// maybeRelease deletes the entry if it no longer tracks anyone. Caller
+// holds s.mu.
+func (s *shard) maybeRelease(line memsim.Line, e *lineEntry) {
+	if e.writer == nil && len(e.readers) == 0 {
+		delete(s.lines, line)
+		e.readers = e.readers[:0]
+		s.free = append(s.free, e)
+	}
+}
+
+// removeReader unregisters tx from e.readers if present. Caller holds s.mu.
+func (s *shard) removeReader(e *lineEntry, tx *Tx) {
+	for i, r := range e.readers {
+		if r == tx {
+			last := len(e.readers) - 1
+			e.readers[i] = e.readers[last]
+			e.readers[last] = nil
+			e.readers = e.readers[:last]
+			s.readers.Add(-1)
+			return
+		}
+	}
+}
+
+// conflictRead performs the coherence action of a load of line by
+// requester (nil for a plain, non-transactional load): any live
+// transactional writer of the line is doomed — "the last transaction to
+// read onto some shared variable will kill the execution of any other
+// previous writer transaction on that same variable" (§2.2). If the
+// writer is already committing it can no longer be doomed; the load must
+// wait for the commit to drain, like a load stalled behind the committing
+// store queue. Returns with no locks held.
+func (m *Machine) conflictRead(line memsim.Line, requester *Tx) {
+	s := m.shardOf(line)
+	if s.writers.Load() == 0 {
+		return
+	}
+	for {
+		s.mu.Lock()
+		e, ok := s.lines[line]
+		if !ok || e.writer == nil || e.writer == requester {
+			s.mu.Unlock()
+			return
+		}
+		w := e.writer
+		if w.doom(conflictCodeFor(requester)) {
+			s.mu.Unlock()
+			return
+		}
+		if !w.isLive() {
+			// Doomed or already finished; its entry will be cleaned up by
+			// its owner. Treat the line as free for reading.
+			s.mu.Unlock()
+			return
+		}
+		// Writer is committing: wait for write-back to finish so the load
+		// observes the post-commit value, never a torn prefix.
+		s.mu.Unlock()
+		if requester != nil {
+			requester.checkDoomed()
+		}
+		runtime.Gosched()
+	}
+}
+
+// conflictCodeFor is the abort cause a victim records when killed by this
+// requester: transactions kill with transactional conflicts, plain
+// accesses with non-transactional conflicts.
+func conflictCodeFor(requester *Tx) AbortCode {
+	if requester != nil {
+		return CodeTxConflict
+	}
+	return CodeNonTxConflict
+}

@@ -1,0 +1,451 @@
+package htm
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"sihtm/internal/memsim"
+)
+
+// Mode selects the transaction flavour offered by P8-HTM.
+type Mode int
+
+const (
+	// ModeHTM is a regular transaction: reads and writes are tracked and
+	// both consume TMCAM capacity.
+	ModeHTM Mode = iota
+	// ModeROT is a rollback-only transaction: only writes are tracked;
+	// reads behave like plain loads (§2.2).
+	ModeROT
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeROT {
+		return "ROT"
+	}
+	return "HTM"
+}
+
+// Transaction status encoding. Doomed states carry the abort code.
+const (
+	statusIdle int32 = iota
+	statusActive
+	statusCommitting
+	statusCommitted
+	statusAborted
+	statusDoomedBase int32 = 0x100
+)
+
+func doomedStatus(code AbortCode) int32 { return statusDoomedBase + int32(code) }
+func isDoomedStatus(s int32) bool       { return s >= statusDoomedBase }
+func codeOfStatus(s int32) AbortCode    { return AbortCode(s - statusDoomedBase) }
+
+type writeEntry struct {
+	addr memsim.Addr
+	val  uint64
+}
+
+// Tx is one hardware transaction. A Tx is obtained from Thread.Begin and
+// driven by the owning goroutine; conflicting peers may asynchronously
+// doom it, and the doom is delivered — as a panic carrying *Abort — at
+// the transaction's next operation, mirroring asynchronous hardware
+// abort delivery.
+type Tx struct {
+	th        *Thread
+	mode      Mode
+	status    atomic.Int32
+	suspended bool
+
+	writes     []writeEntry  // buffered stores, invisible until commit
+	writeLines []memsim.Line // distinct lines in the write set
+	readLines  []memsim.Line // distinct tracked read lines
+	charged    int64         // TMCAM lines charged on the core
+	rotReads   int           // ROT reads seen, for the sampling knob
+
+	shardScratch []int // reused by commit's ordered lock acquisition
+}
+
+// Mode returns the transaction's flavour.
+func (tx *Tx) Mode() Mode { return tx.mode }
+
+// Thread returns the hardware thread running the transaction.
+func (tx *Tx) Thread() *Thread { return tx.th }
+
+// Suspended reports whether the transaction is currently suspended.
+func (tx *Tx) Suspended() bool { return tx.suspended }
+
+// Doomed reports (without delivering) whether the transaction has been
+// killed by a conflicting access. Spin loops — such as SI-HTM's safety
+// wait — poll this to abandon a wait that can no longer succeed.
+func (tx *Tx) Doomed() bool { return isDoomedStatus(tx.status.Load()) }
+
+// Poll delivers a pending doom, unwinding with *Abort if the transaction
+// has been killed. Software layers call it inside wait loops so a doomed
+// transaction stops spinning promptly, mirroring the asynchronous abort
+// delivery of the hardware.
+func (tx *Tx) Poll() { tx.checkDoomed() }
+
+// Kill requests the abort of this transaction from another thread, as the
+// paper's §6 "killing alternative" envisions (a completed transaction
+// killing laggards that delay its quiescence). It reports whether the
+// kill landed; it fails if the transaction is already dead or committing.
+// The victim observes the abort at its next transactional operation.
+func (tx *Tx) Kill() bool { return tx.doom(CodeExplicit) }
+
+// WriteSetLines returns the number of distinct cache lines written.
+func (tx *Tx) WriteSetLines() int { return len(tx.writeLines) }
+
+// ReadSetLines returns the number of distinct cache lines tracked as read.
+func (tx *Tx) ReadSetLines() int { return len(tx.readLines) }
+
+func (tx *Tx) isLive() bool {
+	s := tx.status.Load()
+	return s == statusActive || s == statusCommitting
+}
+
+// doom attempts to kill the transaction with the given cause, reporting
+// whether this call performed the kill. It fails if the transaction is
+// already dead or has entered its commit (hardware commit is atomic and
+// cannot be interrupted).
+func (tx *Tx) doom(code AbortCode) bool {
+	return tx.status.CompareAndSwap(statusActive, doomedStatus(code))
+}
+
+// checkDoomed delivers a pending doom, unwinding with *Abort.
+func (tx *Tx) checkDoomed() {
+	if isDoomedStatus(tx.status.Load()) {
+		tx.abortNow()
+	}
+}
+
+// abort self-kills with the given cause and unwinds.
+func (tx *Tx) abort(code AbortCode) {
+	tx.status.CompareAndSwap(statusActive, doomedStatus(code))
+	tx.abortNow()
+}
+
+// abortNow cleans up a doomed transaction and unwinds with *Abort.
+func (tx *Tx) abortNow() {
+	st := tx.status.Load()
+	code := CodeExplicit
+	if isDoomedStatus(st) {
+		code = codeOfStatus(st)
+	}
+	tx.cleanup()
+	tx.status.Store(statusAborted)
+	panic(&Abort{Code: code})
+}
+
+// forceAbortQuiet kills and cleans up a live transaction without
+// unwinding. It is used when a non-abort panic (a caller bug) escapes a
+// transaction body, so the machine is not left with a zombie entry.
+func (tx *Tx) forceAbortQuiet() {
+	if !tx.isLive() {
+		return
+	}
+	tx.status.CompareAndSwap(statusActive, doomedStatus(CodeExplicit))
+	if tx.status.Load() == statusCommitting {
+		return // commit already in-flight; it will finish on its own
+	}
+	tx.cleanup()
+	tx.status.Store(statusAborted)
+}
+
+// cleanup withdraws the transaction from the directory, releases its
+// TMCAM charge and discards buffered writes. Buffered stores were never
+// visible, so rollback is purely local.
+func (tx *Tx) cleanup() {
+	m := tx.th.m
+	for _, line := range tx.writeLines {
+		s := m.shardOf(line)
+		s.mu.Lock()
+		if e, ok := s.lines[line]; ok {
+			if e.writer == tx {
+				e.writer = nil
+				s.writers.Add(-1)
+			}
+			s.removeReader(e, tx) // read-then-write upgrades register both
+			s.maybeRelease(line, e)
+		}
+		s.mu.Unlock()
+	}
+	for _, line := range tx.readLines {
+		if tx.lineWritten(line) {
+			continue // already handled above
+		}
+		s := m.shardOf(line)
+		s.mu.Lock()
+		if e, ok := s.lines[line]; ok {
+			s.removeReader(e, tx)
+			s.maybeRelease(line, e)
+		}
+		s.mu.Unlock()
+	}
+	m.uncharge(tx.th.core, tx.charged)
+	tx.charged = 0
+	tx.writes = tx.writes[:0]
+	tx.writeLines = tx.writeLines[:0]
+	tx.readLines = tx.readLines[:0]
+	tx.rotReads = 0
+}
+
+func (tx *Tx) lineWritten(line memsim.Line) bool {
+	for _, l := range tx.writeLines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+func (tx *Tx) lineRead(line memsim.Line) bool {
+	for _, l := range tx.readLines {
+		if l == line {
+			return true
+		}
+	}
+	return false
+}
+
+// bufferedRead returns the transaction's own buffered value for addr.
+func (tx *Tx) bufferedRead(a memsim.Addr) (uint64, bool) {
+	for i := len(tx.writes) - 1; i >= 0; i-- {
+		if tx.writes[i].addr == a {
+			return tx.writes[i].val, true
+		}
+	}
+	return 0, false
+}
+
+// Read performs a transactional load of the word at a.
+//
+// In ModeHTM the line is tracked in the read set (consuming TMCAM
+// capacity); in ModeROT the load is untracked and capacity-free but, like
+// any load, dooms a concurrent transactional writer of the line. While
+// suspended, the load is executed non-transactionally.
+func (tx *Tx) Read(a memsim.Addr) uint64 {
+	tx.checkDoomed()
+	if tx.suspended {
+		return tx.th.m.plainLoad(a)
+	}
+	m := tx.th.m
+	line := memsim.LineOf(a)
+	if tx.lineWritten(line) {
+		if v, ok := tx.bufferedRead(a); ok {
+			return v // reads-own-writes (restriction R3 in the paper)
+		}
+		return m.heap.Load(a)
+	}
+	if tx.mode == ModeHTM {
+		if !tx.lineRead(line) {
+			tx.trackRead(line)
+		}
+		// A live transaction holding the line in its read set cannot
+		// coexist with a live writer (either registration dooms the
+		// other), so the heap value is committed data.
+		return m.heap.Load(a)
+	}
+	// ROT read: optionally sample some reads into the TMCAM, modelling
+	// the paper's footnote that ROTs may track a small fraction of reads.
+	if every := m.cfg.ROTReadTrackEvery; every > 0 {
+		tx.rotReads++
+		if tx.rotReads%every == 0 && !tx.lineRead(line) {
+			tx.trackRead(line)
+			return m.heap.Load(a)
+		}
+	}
+	m.conflictRead(line, tx)
+	return m.heap.Load(a)
+}
+
+// trackRead registers tx as a reader of line, dooming any live writer
+// (last reader kills previous writer) and charging one TMCAM entry.
+func (tx *Tx) trackRead(line memsim.Line) {
+	m := tx.th.m
+	s := m.shardOf(line)
+	for {
+		s.mu.Lock()
+		e := s.entry(line)
+		if w := e.writer; w != nil && w != tx && !w.doom(CodeTxConflict) && w.isLive() {
+			// Committing writer: wait for its write-back to drain.
+			s.maybeRelease(line, e)
+			s.mu.Unlock()
+			tx.checkDoomed()
+			runtime.Gosched()
+			continue
+		}
+		if !m.charge(tx.th.core, 1) {
+			s.maybeRelease(line, e)
+			s.mu.Unlock()
+			tx.abort(CodeCapacity)
+		}
+		e.readers = append(e.readers, tx)
+		s.readers.Add(1)
+		tx.readLines = append(tx.readLines, line)
+		tx.charged++
+		s.mu.Unlock()
+		return
+	}
+}
+
+// Write performs a transactional store of v to the word at a. The store
+// is buffered and invisible to other threads until Commit. While
+// suspended, the store is executed non-transactionally (and is then
+// immediately visible).
+func (tx *Tx) Write(a memsim.Addr, v uint64) {
+	tx.checkDoomed()
+	if tx.suspended {
+		tx.th.m.plainStore(a, v)
+		return
+	}
+	line := memsim.LineOf(a)
+	if !tx.lineWritten(line) {
+		tx.claimWrite(line)
+	}
+	for i := range tx.writes {
+		if tx.writes[i].addr == a {
+			tx.writes[i].val = v
+			return
+		}
+	}
+	tx.writes = append(tx.writes, writeEntry{addr: a, val: v})
+}
+
+// claimWrite takes exclusive transactional ownership of line: it kills
+// tracked readers of the line (invalidation), self-aborts if another live
+// writer holds it ("the last writer is killed", §2.2) and charges TMCAM
+// capacity unless the line was already tracked by this transaction's
+// read set (a read→write upgrade reuses the entry).
+func (tx *Tx) claimWrite(line memsim.Line) {
+	m := tx.th.m
+	s := m.shardOf(line)
+	s.mu.Lock()
+	e := s.entry(line)
+	if w := e.writer; w != nil && w != tx && w.isLive() {
+		s.mu.Unlock()
+		tx.abort(CodeTxConflict)
+	}
+	needCharge := !tx.lineRead(line)
+	if needCharge && !m.charge(tx.th.core, 1) {
+		if e.writer == nil {
+			s.maybeRelease(line, e)
+		}
+		s.mu.Unlock()
+		tx.abort(CodeCapacity)
+	}
+	for _, r := range e.readers {
+		if r != tx {
+			r.doom(CodeTxConflict)
+		}
+	}
+	if e.writer == nil {
+		s.writers.Add(1)
+	}
+	e.writer = tx
+	tx.writeLines = append(tx.writeLines, line)
+	if needCharge {
+		tx.charged++
+	}
+	s.mu.Unlock()
+}
+
+// Suspend pauses transactional tracking: until Resume, the transaction's
+// own accesses execute non-transactionally. Conflicts that doom the
+// transaction while suspended take effect at Resume (§2.2).
+func (tx *Tx) Suspend() {
+	if tx.suspended {
+		panic("htm: Suspend on already-suspended transaction")
+	}
+	if s := tx.status.Load(); s != statusActive && !isDoomedStatus(s) {
+		panic("htm: Suspend outside an active transaction")
+	}
+	tx.suspended = true
+}
+
+// Resume ends a suspension, delivering any doom that arrived meanwhile.
+func (tx *Tx) Resume() {
+	if !tx.suspended {
+		panic("htm: Resume on non-suspended transaction")
+	}
+	tx.suspended = false
+	tx.checkDoomed()
+}
+
+// AbortExplicit aborts the transaction programmatically (tabort.),
+// unwinding with *Abort carrying CodeExplicit.
+func (tx *Tx) AbortExplicit() {
+	tx.checkDoomed()
+	tx.abort(CodeExplicit)
+}
+
+// Commit atomically publishes the transaction's write set and ends the
+// transaction (tend.). Once Commit begins, the transaction can no longer
+// be doomed; the whole write set becomes visible before Commit returns,
+// with no torn intermediate state observable by any simulated access.
+func (tx *Tx) Commit() {
+	if tx.suspended {
+		panic("htm: Commit while suspended; Resume first")
+	}
+	if !tx.status.CompareAndSwap(statusActive, statusCommitting) {
+		tx.abortNow()
+	}
+	m := tx.th.m
+	if len(tx.writes) > 0 {
+		// Lock every shard covering the write set, in index order, so the
+		// write-back is atomic with respect to all directory-checking
+		// accesses.
+		idx := tx.shardScratch[:0]
+		for _, line := range tx.writeLines {
+			idx = append(idx, m.shardIndexOf(line))
+		}
+		sort.Ints(idx)
+		uniq := idx[:0]
+		for i, v := range idx {
+			if i == 0 || v != idx[i-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		for _, i := range uniq {
+			m.shards[i].mu.Lock()
+		}
+		for _, w := range tx.writes {
+			m.heap.Store(w.addr, w.val)
+		}
+		for _, line := range tx.writeLines {
+			s := m.shardOf(line)
+			if e, ok := s.lines[line]; ok {
+				if e.writer == tx {
+					e.writer = nil
+					s.writers.Add(-1)
+				}
+				s.removeReader(e, tx)
+				s.maybeRelease(line, e)
+			}
+		}
+		for i := len(uniq) - 1; i >= 0; i-- {
+			m.shards[uniq[i]].mu.Unlock()
+		}
+		tx.shardScratch = idx[:0]
+	}
+	for _, line := range tx.readLines {
+		if tx.lineWritten(line) {
+			continue
+		}
+		s := m.shardOf(line)
+		s.mu.Lock()
+		if e, ok := s.lines[line]; ok {
+			s.removeReader(e, tx)
+			s.maybeRelease(line, e)
+		}
+		s.mu.Unlock()
+	}
+	m.uncharge(tx.th.core, tx.charged)
+	tx.charged = 0
+	tx.writes = tx.writes[:0]
+	tx.writeLines = tx.writeLines[:0]
+	tx.readLines = tx.readLines[:0]
+	tx.rotReads = 0
+	tx.status.Store(statusCommitted)
+}

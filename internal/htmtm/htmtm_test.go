@@ -1,0 +1,153 @@
+package htmtm_test
+
+import (
+	"sync"
+	"testing"
+
+	"sihtm/internal/htm"
+	"sihtm/internal/htmtm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+)
+
+func newSystem(t testing.TB, threads, tmcam int, cfg htmtm.Config) (*htmtm.System, *memsim.Heap) {
+	t.Helper()
+	heap := memsim.NewHeapLines(1 << 10)
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.New(4, 2), TMCAMLines: tmcam})
+	return htmtm.NewSystem(m, threads, cfg), heap
+}
+
+func TestName(t *testing.T) {
+	sys, _ := newSystem(t, 2, 64, htmtm.Config{})
+	if sys.Name() != "htm" || sys.Threads() != 2 {
+		t.Fatalf("Name/Threads = %q/%d", sys.Name(), sys.Threads())
+	}
+}
+
+// Plain HTM transactions are capacity-bounded by reads: a transaction
+// whose read set exceeds the TMCAM burns its retries on capacity aborts
+// and lands on the SGL — the failure mode SI-HTM eliminates.
+func TestReadCapacityForcesFallback(t *testing.T) {
+	sys, heap := newSystem(t, 1, 8, htmtm.Config{Retries: 4})
+	lines := make([]memsim.Addr, 16)
+	for i := range lines {
+		lines[i] = heap.AllocLine()
+		heap.Store(lines[i], uint64(i))
+	}
+	var sum uint64
+	sys.Atomic(0, tm.KindUpdate, func(ops tm.Ops) {
+		sum = 0
+		for _, a := range lines {
+			sum += ops.Read(a)
+		}
+	})
+	if sum != 15*16/2 {
+		t.Fatalf("sum = %d", sum)
+	}
+	s := sys.Collector().Snapshot()
+	if s.Fallbacks != 1 {
+		t.Fatalf("fallbacks = %d, want 1", s.Fallbacks)
+	}
+	if s.Aborts[stats.AbortCapacity] != 2 {
+		t.Fatalf("capacity aborts = %d, want 2 (persistent-capacity budget)", s.Aborts[stats.AbortCapacity])
+	}
+}
+
+// Unlike SI-HTM, read-only transactions enjoy no special treatment: a
+// large read-only scan also falls back.
+func TestReadOnlyHasNoFastPath(t *testing.T) {
+	sys, heap := newSystem(t, 1, 8, htmtm.Config{Retries: 2})
+	lines := make([]memsim.Addr, 16)
+	for i := range lines {
+		lines[i] = heap.AllocLine()
+	}
+	sys.Atomic(0, tm.KindReadOnly, func(ops tm.Ops) {
+		for _, a := range lines {
+			_ = ops.Read(a)
+		}
+	})
+	s := sys.Collector().Snapshot()
+	if s.Fallbacks != 1 || s.CommitsRO != 1 {
+		t.Fatalf("stats = %v", s)
+	}
+}
+
+// The SGL lock-word subscription: while one thread is serialised on the
+// lock, hardware attempts by others abort non-transactionally, exactly
+// the "non-transactional aborts" population in the paper's breakdowns.
+func TestLockSubscriptionKillsConcurrentTxs(t *testing.T) {
+	sys, heap := newSystem(t, 2, 4, htmtm.Config{Retries: 3})
+	big := make([]memsim.Addr, 8) // exceeds the 4-line TMCAM → forces SGL
+	for i := range big {
+		big[i] = heap.AllocLine()
+	}
+	x := heap.AllocLine()
+
+	const rounds = 100
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			sys.Atomic(0, tm.KindUpdate, func(ops tm.Ops) {
+				for j, a := range big {
+					ops.Write(a, uint64(i*8+j))
+				}
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			sys.Atomic(1, tm.KindUpdate, func(ops tm.Ops) {
+				ops.Write(x, ops.Read(x)+1)
+			})
+		}
+	}()
+	wg.Wait()
+	if got := heap.Load(x); got != rounds {
+		t.Fatalf("counter = %d, want %d (SGL serialisation lost updates)", got, rounds)
+	}
+	s := sys.Collector().Snapshot()
+	if s.Fallbacks == 0 {
+		t.Fatal("expected SGL fallbacks")
+	}
+	if s.Commits != 2*rounds {
+		t.Fatalf("commits = %d, want %d", s.Commits, 2*rounds)
+	}
+}
+
+func TestConflictAbortsAreCounted(t *testing.T) {
+	sys, heap := newSystem(t, 4, 64, htmtm.Config{})
+	x := heap.AllocLine()
+	pad := heap.AllocLines(16) // stretch the read-to-write window
+	const perThread = 500
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perThread; i++ {
+				sys.Atomic(id, tm.KindUpdate, func(ops tm.Ops) {
+					v := ops.Read(x)
+					// Widen the conflict window so concurrent increments
+					// overlap even on heavily time-sliced hosts.
+					for j := 0; j < 16; j++ {
+						v += ops.Read(pad + memsim.Addr(j*memsim.WordsPerLine))
+					}
+					ops.Write(x, v+1)
+				})
+			}
+		}(id)
+	}
+	wg.Wait()
+	if got := heap.Load(x); got != 4*perThread {
+		t.Fatalf("counter = %d, want %d", got, 4*perThread)
+	}
+	s := sys.Collector().Snapshot()
+	if s.TotalAborts() == 0 {
+		t.Error("expected conflicts on a contended counter")
+	}
+}

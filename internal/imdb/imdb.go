@@ -1,0 +1,407 @@
+// Package imdb is a miniature in-memory database engine over the
+// transactional heap — the integration target the paper's introduction
+// motivates: relational-style tables with fixed-width rows, a primary-key
+// B+tree index and optional secondary indexes, all accessed through
+// tm.Ops so that any of the repository's concurrency controls (SI-HTM
+// first among them) provides isolation.
+//
+// The design keeps the cache-line cost model front and centre: rows are
+// line-aligned with a known footprint, index probes cost ~2 lines per
+// level, and range reports stream leaf chains — so the capacity
+// behaviour studied by the paper transfers directly to this layer.
+package imdb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"sihtm/internal/index/btree"
+	"sihtm/internal/memsim"
+	"sihtm/internal/tm"
+)
+
+// RowID identifies a row within its table.
+type RowID uint64
+
+// Schema declares a table's columns. Every column is one 64-bit word;
+// column 0 is the primary key. Wider payloads are modelled by multiple
+// columns (as the TPC-C workload does with hashed strings).
+type Schema struct {
+	Table   string
+	Columns []string
+}
+
+// Validate checks the schema.
+func (s Schema) Validate() error {
+	if s.Table == "" {
+		return fmt.Errorf("imdb: schema needs a table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("imdb: table %q needs at least one column (the primary key)", s.Table)
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Columns {
+		if c == "" || seen[c] {
+			return fmt.Errorf("imdb: table %q has empty or duplicate column %q", s.Table, c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// rowWords returns the padded row stride: rows never straddle more lines
+// than necessary, and rows of ≤16 words get exactly one line so row
+// accesses have a fixed footprint.
+func (s Schema) rowWords() int {
+	w := len(s.Columns)
+	lines := (w + memsim.WordsPerLine - 1) / memsim.WordsPerLine
+	return lines * memsim.WordsPerLine
+}
+
+// Table is a fixed-capacity row store with a primary-key index.
+//
+// Row slots are allocated through per-worker Writers in segment chunks,
+// never through a shared transactional counter: a single hot counter line
+// would serialise every insert and, under rollback-only transactions,
+// degenerate into a reader-kills-writer storm (every insert's read of the
+// counter invalidating the previous claimant). Slot allocation is
+// metadata, not data — an aborted insert retries into the same slot — so
+// it needs no transactional protection.
+type Table struct {
+	schema   Schema
+	heap     *memsim.Heap
+	base     memsim.Addr
+	stride   int
+	capacity int
+	nextSlot atomic.Int64 // segment allocator (Go-side, non-transactional)
+	rows     atomic.Int64 // committed row count
+	colIndex map[string]int
+	pk       *btree.Tree
+	secons   map[string]*btree.Tree // secondary indexes by column
+}
+
+// DB owns tables over one heap.
+type DB struct {
+	heap   *memsim.Heap
+	tables map[string]*Table
+}
+
+// New creates an empty database on heap.
+func New(heap *memsim.Heap) *DB {
+	return &DB{heap: heap, tables: make(map[string]*Table)}
+}
+
+// CreateTable allocates a table with fixed row capacity. Setup-time only.
+func (db *DB) CreateTable(schema Schema, capacity int) (*Table, error) {
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("imdb: table %q capacity must be positive", schema.Table)
+	}
+	if _, dup := db.tables[schema.Table]; dup {
+		return nil, fmt.Errorf("imdb: table %q already exists", schema.Table)
+	}
+	stride := schema.rowWords()
+	t := &Table{
+		schema:   schema,
+		heap:     db.heap,
+		base:     db.heap.AllocLines(capacity * stride / memsim.WordsPerLine),
+		stride:   stride,
+		capacity: capacity,
+		colIndex: make(map[string]int, len(schema.Columns)),
+		pk:       btree.New(db.heap),
+		secons:   make(map[string]*btree.Tree),
+	}
+	for i, c := range schema.Columns {
+		t.colIndex[c] = i
+	}
+	db.tables[schema.Table] = t
+	return t, nil
+}
+
+// Table returns a table by name.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("imdb: unknown table %q", name)
+	}
+	return t, nil
+}
+
+// CreateIndex adds a secondary index on a column. Setup-time only (the
+// table must still be empty).
+func (t *Table) CreateIndex(column string) error {
+	if _, ok := t.colIndex[column]; !ok {
+		return fmt.Errorf("imdb: table %q has no column %q", t.schema.Table, column)
+	}
+	if column == t.schema.Columns[0] {
+		return fmt.Errorf("imdb: column %q is the primary key", column)
+	}
+	if t.nextSlot.Load() != 0 {
+		return fmt.Errorf("imdb: CreateIndex on non-empty table %q", t.schema.Table)
+	}
+	if _, dup := t.secons[column]; dup {
+		return fmt.Errorf("imdb: duplicate index on %q", column)
+	}
+	t.secons[column] = btree.New(t.heap)
+	return nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Capacity returns the maximum row count.
+func (t *Table) Capacity() int { return t.capacity }
+
+// col resolves a column name, panicking on unknown names: column sets are
+// static program structure, so a miss is a caller bug, not a data error.
+func (t *Table) col(name string) int {
+	i, ok := t.colIndex[name]
+	if !ok {
+		panic(fmt.Sprintf("imdb: table %q has no column %q", t.schema.Table, name))
+	}
+	return i
+}
+
+func (t *Table) rowAddr(id RowID) memsim.Addr {
+	if uint64(id) >= uint64(t.capacity) {
+		panic(fmt.Sprintf("imdb: row %d out of range [0,%d)", id, t.capacity))
+	}
+	return t.base + memsim.Addr(uint64(id)*uint64(t.stride))
+}
+
+// Secondary-index keys are (columnValue, rowID) composites so duplicate
+// column values coexist: value in the high bits, row id in the low bits.
+const seconRowBits = 24 // up to 16M rows per table
+
+func seconKey(val uint64, id RowID) uint64 {
+	return val<<seconRowBits | uint64(id)
+}
+
+// ErrDuplicateKey is returned by Insert for an existing primary key.
+var ErrDuplicateKey = fmt.Errorf("imdb: duplicate primary key")
+
+// ErrTableFull is returned by Insert when capacity is exhausted.
+var ErrTableFull = fmt.Errorf("imdb: table full")
+
+// segmentRows is the chunk a Writer reserves from the table at a time.
+const segmentRows = 64
+
+// Writer is one worker's insert handle: it owns a private range of row
+// slots and an index-node pool, so concurrent inserts share no allocation
+// state. Use one Writer per worker goroutine.
+//
+// Protocol per insert: call Insert inside the transaction body (bodies
+// may retry; the Writer hands the same slot and the same index nodes to
+// every attempt) and Commit exactly once after the transaction committed.
+type Writer struct {
+	t        *Table
+	pool     *btree.Pool
+	segNext  int // next unused slot in the segment
+	segLimit int // one past the segment's last slot
+	pending  bool
+}
+
+// NewWriter creates an insert handle for one worker.
+func (t *Table) NewWriter() *Writer {
+	return &Writer{t: t, pool: btree.NewPool(t.heap)}
+}
+
+// reserve returns the slot for the current insert, claiming a fresh
+// segment when the current one is exhausted. Idempotent across retries of
+// one insert (the slot advances only in Commit).
+func (w *Writer) reserve() (RowID, error) {
+	if w.segNext == w.segLimit {
+		base := int(w.t.nextSlot.Add(segmentRows)) - segmentRows
+		if base >= w.t.capacity {
+			w.t.nextSlot.Add(-segmentRows)
+			return 0, ErrTableFull
+		}
+		w.segNext = base
+		w.segLimit = base + segmentRows
+		if w.segLimit > w.t.capacity {
+			w.segLimit = w.t.capacity
+		}
+	}
+	return RowID(w.segNext), nil
+}
+
+// Insert adds a row (vals in schema column order, vals[0] = primary key)
+// inside the calling transaction.
+func (w *Writer) Insert(ops tm.Ops, vals []uint64) (RowID, error) {
+	t := w.t
+	if len(vals) != len(t.schema.Columns) {
+		return 0, fmt.Errorf("imdb: table %q insert with %d values, want %d",
+			t.schema.Table, len(vals), len(t.schema.Columns))
+	}
+	if _, exists := t.pk.Lookup(ops, vals[0]); exists {
+		return 0, ErrDuplicateKey
+	}
+	id, err := w.reserve()
+	if err != nil {
+		return 0, err
+	}
+	w.pool.Reset()
+	row := t.rowAddr(id)
+	for i, v := range vals {
+		ops.Write(row+memsim.Addr(i), v)
+	}
+	t.pk.Insert(ops, vals[0], uint64(id), w.pool)
+	for column, idx := range t.secons {
+		idx.Insert(ops, seconKey(vals[t.col(column)], id), uint64(id), w.pool)
+	}
+	w.pending = true
+	return id, nil
+}
+
+// Commit finalises the last Insert after its transaction committed:
+// the slot is consumed, the used index nodes are retired, and the pool is
+// topped up for the next insert. Calling it without a pending insert is a
+// no-op.
+func (w *Writer) Commit() {
+	if !w.pending {
+		return
+	}
+	w.pending = false
+	w.segNext++
+	w.t.rows.Add(1)
+	w.pool.Commit()
+	w.pool.Refill(w.t.PoolSizeForInsert())
+}
+
+// Prepare tops up the pool before the first use (optional; Insert pools
+// are refilled by Commit thereafter).
+func (w *Writer) Prepare() { w.pool.Refill(w.t.PoolSizeForInsert()) }
+
+// Pool exposes the writer's node pool for callers that mix table inserts
+// with direct index updates (e.g. Update on an indexed column) in one
+// transaction.
+func (w *Writer) Pool() *btree.Pool { return w.pool }
+
+// PoolSizeForInsert returns the node-pool size one Insert may need (one
+// split chain per index touched).
+func (t *Table) PoolSizeForInsert() int {
+	return (1 + len(t.secons)) * btree.RecommendedPoolSize()
+}
+
+// Get reads one column of a row.
+func (t *Table) Get(ops tm.Ops, id RowID, column string) uint64 {
+	return ops.Read(t.rowAddr(id) + memsim.Addr(t.col(column)))
+}
+
+// Update writes one column of a row, maintaining any secondary index on
+// that column. pool is needed only when the column is indexed.
+func (t *Table) Update(ops tm.Ops, id RowID, column string, val uint64, pool *btree.Pool) {
+	c := t.col(column)
+	if c == 0 {
+		panic("imdb: primary keys are immutable; insert a new row instead")
+	}
+	addr := t.rowAddr(id) + memsim.Addr(c)
+	if idx, indexed := t.secons[column]; indexed {
+		old := ops.Read(addr)
+		if old == val {
+			return
+		}
+		idx.Delete(ops, seconKey(old, id))
+		idx.Insert(ops, seconKey(val, id), uint64(id), pool)
+	}
+	ops.Write(addr, val)
+}
+
+// LookupPK returns the row id holding the given primary key.
+func (t *Table) LookupPK(ops tm.Ops, key uint64) (RowID, bool) {
+	id, ok := t.pk.Lookup(ops, key)
+	return RowID(id), ok
+}
+
+// ScanPK visits rows with primary keys in [lo, hi] in key order.
+func (t *Table) ScanPK(ops tm.Ops, lo, hi uint64, fn func(id RowID) bool) {
+	t.pk.RangeScan(ops, lo, hi, func(_, id uint64) bool {
+		return fn(RowID(id))
+	})
+}
+
+// ScanIndex visits rows whose indexed column value lies in [lo, hi], in
+// (value, row) order.
+func (t *Table) ScanIndex(ops tm.Ops, column string, lo, hi uint64, fn func(id RowID) bool) error {
+	idx, ok := t.secons[column]
+	if !ok {
+		return fmt.Errorf("imdb: no index on %q.%q", t.schema.Table, column)
+	}
+	idx.RangeScan(ops, seconKey(lo, 0), seconKey(hi, RowID(1<<seconRowBits-1)),
+		func(_, id uint64) bool { return fn(RowID(id)) })
+	return nil
+}
+
+// Rows returns the committed row count (non-transactional; verification
+// and monitoring).
+func (t *Table) Rows() int { return int(t.rows.Load()) }
+
+// CheckConsistency verifies (quiescently) that the primary index and
+// every secondary index agree exactly with the row store: entry counts
+// match the committed row count, every primary entry points at a row
+// carrying that key, and every secondary entry's composite key matches
+// its row's column value.
+func (t *Table) CheckConsistency() error {
+	if err := t.pk.CheckInvariants(); err != nil {
+		return fmt.Errorf("imdb: %q pk index: %w", t.schema.Table, err)
+	}
+	n := t.Rows()
+	po := plainOps{t.heap}
+	if got := t.pk.Count(po); got != n {
+		return fmt.Errorf("imdb: %q pk index has %d entries, table has %d rows", t.schema.Table, got, n)
+	}
+	var walkErr error
+	t.pk.RangeScan(po, 0, ^uint64(0), func(key, id uint64) bool {
+		if got := t.heap.Load(t.rowAddr(RowID(id))); got != key {
+			walkErr = fmt.Errorf("imdb: %q pk entry %d points at row %d holding key %d",
+				t.schema.Table, key, id, got)
+			return false
+		}
+		return true
+	})
+	if walkErr != nil {
+		return walkErr
+	}
+	for column, idx := range t.secons {
+		if err := idx.CheckInvariants(); err != nil {
+			return fmt.Errorf("imdb: %q index %q: %w", t.schema.Table, column, err)
+		}
+		if got := idx.Count(po); got != n {
+			return fmt.Errorf("imdb: %q index %q has %d entries, want %d", t.schema.Table, column, got, n)
+		}
+		c := t.col(column)
+		idx.RangeScan(po, 0, ^uint64(0), func(key, id uint64) bool {
+			wantVal, wantID := key>>seconRowBits, key&(1<<seconRowBits-1)
+			if id != wantID {
+				walkErr = fmt.Errorf("imdb: %q index %q composite/value mismatch at row %d", t.schema.Table, column, id)
+				return false
+			}
+			if got := t.heap.Load(t.rowAddr(RowID(id)) + memsim.Addr(c)); got != wantVal {
+				walkErr = fmt.Errorf("imdb: %q index %q entry (val %d, row %d) but row holds %d",
+					t.schema.Table, column, wantVal, id, got)
+				return false
+			}
+			return true
+		})
+		if walkErr != nil {
+			return walkErr
+		}
+	}
+	return nil
+}
+
+// plainOps adapts raw heap access for quiescent verification.
+type plainOps struct{ heap *memsim.Heap }
+
+func (o plainOps) Read(a memsim.Addr) uint64     { return o.heap.Load(a) }
+func (o plainOps) Write(a memsim.Addr, v uint64) { o.heap.Store(a, v) }
+
+// HeapLinesForTable estimates the heap a table of the given schema and
+// capacity needs, including index slack (~2 nodes per 14 rows per index).
+func HeapLinesForTable(s Schema, capacity, indexes int) int {
+	rowLines := s.rowWords() / memsim.WordsPerLine * capacity
+	indexLines := (1 + indexes) * (capacity/7 + 64) * 2
+	return rowLines + indexLines + 1024
+}

@@ -1,0 +1,294 @@
+package imdb_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"sihtm/internal/imdb"
+	"sihtm/internal/memsim"
+	"sihtm/internal/tm"
+	"sihtm/internal/tmtest"
+)
+
+type plainOps struct{ heap *memsim.Heap }
+
+func (o plainOps) Read(a memsim.Addr) uint64     { return o.heap.Load(a) }
+func (o plainOps) Write(a memsim.Addr, v uint64) { o.heap.Store(a, v) }
+
+func ordersSchema() imdb.Schema {
+	return imdb.Schema{
+		Table:   "orders",
+		Columns: []string{"id", "customer", "amount", "status"},
+	}
+}
+
+func newOrdersTable(t testing.TB, capacity int, withIndex bool) (*imdb.Table, *memsim.Heap) {
+	t.Helper()
+	heap := memsim.NewHeapLines(imdb.HeapLinesForTable(ordersSchema(), capacity, 1))
+	db := imdb.New(heap)
+	tab, err := db.CreateTable(ordersSchema(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withIndex {
+		if err := tab.CreateIndex("customer"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab, heap
+}
+
+// insertPlain runs the full writer protocol for one non-transactional
+// insert.
+func insertPlain(t testing.TB, w *imdb.Writer, ops tm.Ops, vals []uint64) imdb.RowID {
+	t.Helper()
+	w.Prepare()
+	id, err := w.Insert(ops, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Commit()
+	return id
+}
+
+func TestSchemaValidation(t *testing.T) {
+	bad := []imdb.Schema{
+		{},
+		{Table: "t"},
+		{Table: "t", Columns: []string{"a", "a"}},
+		{Table: "t", Columns: []string{""}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("schema %d validated", i)
+		}
+	}
+	if err := ordersSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	heap := memsim.NewHeapLines(1 << 12)
+	db := imdb.New(heap)
+	if _, err := db.CreateTable(ordersSchema(), 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := db.CreateTable(ordersSchema(), 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable(ordersSchema(), 8); err == nil {
+		t.Error("duplicate table accepted")
+	}
+	if _, err := db.Table("orders"); err != nil {
+		t.Error("lookup of existing table failed")
+	}
+	if _, err := db.Table("nope"); err == nil {
+		t.Error("lookup of missing table succeeded")
+	}
+}
+
+func TestIndexCreationRules(t *testing.T) {
+	tab, heap := newOrdersTable(t, 128, false)
+	if err := tab.CreateIndex("nope"); err == nil {
+		t.Error("index on unknown column accepted")
+	}
+	if err := tab.CreateIndex("id"); err == nil {
+		t.Error("index on primary key accepted")
+	}
+	if err := tab.CreateIndex("customer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.CreateIndex("customer"); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	// Non-empty table refuses new indexes.
+	insertPlain(t, tab.NewWriter(), plainOps{heap}, []uint64{1, 2, 3, 0})
+	if err := tab.CreateIndex("amount"); err == nil {
+		t.Error("index on non-empty table accepted")
+	}
+}
+
+func TestCRUDAndScans(t *testing.T) {
+	tab, heap := newOrdersTable(t, 128, true)
+	ops := plainOps{heap}
+	w := tab.NewWriter()
+
+	rowOf := make(map[int]imdb.RowID)
+	for i := 0; i < 20; i++ {
+		rowOf[i] = insertPlain(t, w, ops, []uint64{uint64(100 + i), uint64(i % 4), uint64(10 * i), 0})
+	}
+	if tab.Rows() != 20 {
+		t.Fatalf("Rows = %d, want 20", tab.Rows())
+	}
+
+	// Duplicate pk rejected.
+	w.Prepare()
+	if _, err := w.Insert(ops, []uint64{100, 0, 0, 0}); !errors.Is(err, imdb.ErrDuplicateKey) {
+		t.Fatalf("duplicate insert error = %v", err)
+	}
+
+	// Point reads through the pk index.
+	id, ok := tab.LookupPK(ops, 107)
+	if !ok || tab.Get(ops, id, "amount") != 70 {
+		t.Fatalf("LookupPK(107) → %d, amount %d", id, tab.Get(ops, id, "amount"))
+	}
+
+	// PK range scan.
+	var keys []uint64
+	tab.ScanPK(ops, 105, 110, func(id imdb.RowID) bool {
+		keys = append(keys, tab.Get(ops, id, "id"))
+		return true
+	})
+	if len(keys) != 6 || keys[0] != 105 || keys[5] != 110 {
+		t.Fatalf("ScanPK = %v", keys)
+	}
+
+	// Secondary index scan: customer 2 owns i = 2, 6, 10, 14, 18.
+	count := 0
+	if err := tab.ScanIndex(ops, "customer", 2, 2, func(id imdb.RowID) bool {
+		if tab.Get(ops, id, "customer") != 2 {
+			t.Fatalf("index scan returned wrong row %d", id)
+		}
+		count++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 5 {
+		t.Fatalf("index scan found %d rows, want 5", count)
+	}
+
+	// Update an indexed column: the index must follow.
+	pool := w.Pool()
+	pool.Reset()
+	tab.Update(ops, rowOf[2], "customer", 9, pool)
+	pool.Commit()
+	found := false
+	tab.ScanIndex(ops, "customer", 9, 9, func(id imdb.RowID) bool {
+		found = id == rowOf[2]
+		return true
+	})
+	if !found {
+		t.Fatal("index did not follow the update")
+	}
+	// Update of a non-indexed column needs no pool.
+	tab.Update(ops, rowOf[2], "status", 1, nil)
+	if tab.Get(ops, rowOf[2], "status") != 1 {
+		t.Fatal("plain update lost")
+	}
+
+	if err := tab.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tab, heap := newOrdersTable(t, 2, false)
+	ops := plainOps{heap}
+	w := tab.NewWriter()
+	w.Prepare()
+
+	if _, err := w.Insert(ops, []uint64{1, 2}); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	for i := 0; i < 2; i++ {
+		insertPlain(t, w, ops, []uint64{uint64(i + 1), 0, 0, 0})
+	}
+	w.Prepare()
+	if _, err := w.Insert(ops, []uint64{99, 0, 0, 0}); !errors.Is(err, imdb.ErrTableFull) {
+		t.Fatalf("full-table insert error = %v", err)
+	}
+}
+
+func TestWriterRetryReusesSlot(t *testing.T) {
+	tab, heap := newOrdersTable(t, 128, false)
+	ops := plainOps{heap}
+	w := tab.NewWriter()
+	w.Prepare()
+
+	// Simulate an aborted attempt: Insert without Commit, then "retry".
+	// (Distinct keys, because plain ops do not roll back the first
+	// attempt's index write the way a real aborted transaction would.)
+	id1, err := w.Insert(ops, []uint64{7, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := w.Insert(ops, []uint64{8, 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id1 != id2 {
+		t.Fatalf("retry changed row slot: %d vs %d", id1, id2)
+	}
+	w.Commit()
+	if tab.Rows() != 1 {
+		t.Fatalf("Rows = %d, want 1", tab.Rows())
+	}
+	// Commit without a pending insert is a no-op.
+	w.Commit()
+	if tab.Rows() != 1 {
+		t.Fatalf("Rows after no-op Commit = %d", tab.Rows())
+	}
+}
+
+// Concurrent order entry + reporting under every concurrency control:
+// the row store and both indexes must stay mutually consistent.
+func TestConcurrentUseUnderEverySystem(t *testing.T) {
+	for _, f := range tmtest.StandardFactories(0) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			const threads = 4
+			const perThread = 120
+			capacity := threads*perThread + 4*64 // slack for segment rounding
+			heap := memsim.NewHeapLines(imdb.HeapLinesForTable(ordersSchema(), capacity, 1))
+			db := imdb.New(heap)
+			tab, err := db.CreateTable(ordersSchema(), capacity)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tab.CreateIndex("customer"); err != nil {
+				t.Fatal(err)
+			}
+			sys := f.New(heap, threads)
+			var wg sync.WaitGroup
+			for id := 0; id < threads; id++ {
+				wg.Add(1)
+				go func(worker int) {
+					defer wg.Done()
+					w := tab.NewWriter()
+					w.Prepare()
+					for i := 0; i < perThread; i++ {
+						pk := uint64(worker*perThread+i) + 1
+						var insErr error
+						sys.Atomic(worker, tm.KindUpdate, func(ops tm.Ops) {
+							_, insErr = w.Insert(ops, []uint64{pk, pk % 7, pk * 3, 0})
+						})
+						if insErr != nil {
+							t.Errorf("%s: insert %d: %v", f.Name, pk, insErr)
+							return
+						}
+						w.Commit()
+						if i%16 == 0 { // read-only report
+							sys.Atomic(worker, tm.KindReadOnly, func(ops tm.Ops) {
+								total := uint64(0)
+								tab.ScanPK(ops, 0, ^uint64(0), func(id imdb.RowID) bool {
+									total += tab.Get(ops, id, "amount")
+									return true
+								})
+							})
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			if tab.Rows() != threads*perThread {
+				t.Fatalf("%s: rows = %d, want %d", f.Name, tab.Rows(), threads*perThread)
+			}
+			if err := tab.CheckConsistency(); err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+		})
+	}
+}

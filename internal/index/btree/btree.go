@@ -1,0 +1,431 @@
+// Package btree implements a transactional B+tree over the simulated
+// heap — the ordered-index substrate the paper's §3 envisions for
+// integrating SI-HTM into in-memory databases ("IMDBs that store named
+// records ... making use of efficient indexes").
+//
+// Layout is chosen for the cache-line cost model the whole repository is
+// built around: every node occupies exactly two 128-byte lines, so a
+// point lookup in a tree of a million keys touches ~12 lines and a range
+// scan streams the leaf chain at two lines per 14 entries. All node
+// mutations touch the node's first line (the header holds the count), so
+// two transactions updating one node always write-write conflict — the
+// property that makes the tree serializable under snapshot isolation
+// without read promotion (concurrent structural changes to the same node
+// cannot both commit).
+//
+// Deletion is tombstone-free but lazy: keys are removed from their leaf
+// without rebalancing, so a long deletion-only workload can leave
+// under-full leaves (bounded by the number of deletions). This is the
+// standard trade-off in TM index benchmarks and keeps delete write sets
+// at a single node.
+package btree
+
+import (
+	"fmt"
+
+	"sihtm/internal/memsim"
+	"sihtm/internal/tm"
+)
+
+// Node geometry: 2 cache lines = 32 words.
+//
+//	word 0:      header = count | leafFlag
+//	words 1..14: keys (Fanout-1 = 14)
+//	word 15:     next-leaf pointer (leaves) / unused (internal)
+//	words 16..30: children (internal, Fanout = 15) or values (leaves, 14)
+//	word 31:     unused
+const (
+	// Fanout is the maximum child count of an internal node.
+	Fanout = 15
+	// MaxKeys is the key capacity of any node.
+	MaxKeys = Fanout - 1
+
+	nodeWords = 2 * memsim.WordsPerLine
+	hdrWord   = 0
+	keyBase   = 1
+	nextWord  = 15
+	childBase = 16
+	leafFlag  = uint64(1) << 63
+	countMask = (uint64(1) << 32) - 1
+)
+
+// Tree is a transactional B+tree mapping uint64 keys to uint64 values.
+// The root pointer cell lives in the heap so that structural root changes
+// are transactional like everything else.
+type Tree struct {
+	heap     *memsim.Heap
+	rootCell memsim.Addr // heap word holding the root node address
+}
+
+// New creates an empty tree on heap.
+func New(heap *memsim.Heap) *Tree {
+	t := &Tree{heap: heap, rootCell: heap.AllocLine()}
+	root := heap.AllocLines(2)
+	heap.Store(root+hdrWord, leafFlag) // empty leaf
+	heap.Store(t.rootCell, uint64(root))
+	return t
+}
+
+// Pool supplies pre-allocated nodes to Insert so transaction bodies stay
+// allocation-free and idempotent. It is cursor-based: an aborted attempt
+// re-runs the body, Reset rewinds the cursor, and the retry reuses the
+// very same nodes (their tentative contents were never published).
+//
+// Contract: Refill outside transactions; Reset at the top of the
+// transaction body; Commit after the transaction has committed, which
+// permanently consumes the nodes the successful attempt used.
+type Pool struct {
+	heap   *memsim.Heap
+	nodes  []memsim.Addr
+	cursor int
+}
+
+// NewPool creates a node pool.
+func NewPool(heap *memsim.Heap) *Pool { return &Pool{heap: heap} }
+
+// Refill tops the pool up to n nodes. Call only outside transactions.
+func (p *Pool) Refill(n int) {
+	for len(p.nodes) < n {
+		p.nodes = append(p.nodes, p.heap.AllocLines(2))
+	}
+}
+
+// Len returns the number of pooled nodes.
+func (p *Pool) Len() int { return len(p.nodes) - p.cursor }
+
+// Reset rewinds the cursor; call at the start of each transaction body.
+func (p *Pool) Reset() { p.cursor = 0 }
+
+// Commit consumes the nodes used by the committed attempt; call after
+// the transaction returns.
+func (p *Pool) Commit() {
+	p.nodes = p.nodes[:copy(p.nodes, p.nodes[p.cursor:])]
+	p.cursor = 0
+}
+
+// take hands out the next node. Running dry mid-transaction panics,
+// pointing at a caller bug (allocating here would break idempotency).
+func (p *Pool) take() memsim.Addr {
+	if p.cursor >= len(p.nodes) {
+		panic("btree: node pool exhausted inside a transaction; Refill(RecommendedPoolSize()) between transactions")
+	}
+	n := p.nodes[p.cursor]
+	p.cursor++
+	return n
+}
+
+// RecommendedPoolSize returns the node count one Insert may consume in
+// the worst case (a full root-to-leaf split chain plus a new root).
+func RecommendedPoolSize() int { return 12 }
+
+func isLeaf(hdr uint64) bool { return hdr&leafFlag != 0 }
+func count(hdr uint64) int   { return int(hdr & countMask) }
+
+func (t *Tree) root(ops tm.Ops) memsim.Addr {
+	return memsim.Addr(ops.Read(t.rootCell))
+}
+
+// search returns the index of the first key >= k within the node, reading
+// keys transactionally.
+func search(ops tm.Ops, n memsim.Addr, cnt int, k uint64) int {
+	lo, hi := 0, cnt
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ops.Read(n+keyBase+memsim.Addr(mid)) < k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Lookup returns the value stored under key.
+func (t *Tree) Lookup(ops tm.Ops, key uint64) (uint64, bool) {
+	n := t.root(ops)
+	for {
+		hdr := ops.Read(n + hdrWord)
+		cnt := count(hdr)
+		i := search(ops, n, cnt, key)
+		if isLeaf(hdr) {
+			if i < cnt && ops.Read(n+keyBase+memsim.Addr(i)) == key {
+				return ops.Read(n + childBase + memsim.Addr(i)), true
+			}
+			return 0, false
+		}
+		if i < cnt && ops.Read(n+keyBase+memsim.Addr(i)) == key {
+			i++ // equal keys route right in internal nodes
+		}
+		n = memsim.Addr(ops.Read(n + childBase + memsim.Addr(i)))
+	}
+}
+
+// Insert stores value under key, reporting whether the key was new.
+// Existing keys are updated in place. pool must hold at least
+// RecommendedPoolSize() nodes.
+func (t *Tree) Insert(ops tm.Ops, key, value uint64, pool *Pool) bool {
+	root := t.root(ops)
+	newKey, splitKey, splitNode := t.insertRec(ops, root, key, value, pool)
+	if splitNode != 0 {
+		// Root split: grow the tree by one level.
+		newRoot := pool.take()
+		ops.Write(newRoot+hdrWord, 1) // internal, one key
+		ops.Write(newRoot+keyBase, splitKey)
+		ops.Write(newRoot+childBase, uint64(root))
+		ops.Write(newRoot+childBase+1, uint64(splitNode))
+		ops.Write(t.rootCell, uint64(newRoot))
+	}
+	return newKey
+}
+
+// insertRec inserts below n. If n split, it returns the separator key and
+// the new right sibling.
+func (t *Tree) insertRec(ops tm.Ops, n memsim.Addr, key, value uint64, pool *Pool) (newKey bool, splitKey uint64, splitNode memsim.Addr) {
+	hdr := ops.Read(n + hdrWord)
+	cnt := count(hdr)
+	i := search(ops, n, cnt, key)
+
+	if isLeaf(hdr) {
+		if i < cnt && ops.Read(n+keyBase+memsim.Addr(i)) == key {
+			ops.Write(n+childBase+memsim.Addr(i), value)
+			return false, 0, 0
+		}
+		if cnt < MaxKeys {
+			leafInsertAt(ops, n, cnt, i, key, value)
+			return true, 0, 0
+		}
+		// Split the full leaf, then insert into the proper half.
+		right := pool.take()
+		mid := (MaxKeys + 1) / 2 // 7 stay left, 7 move right
+		moveLeafUpper(ops, n, right, mid, cnt)
+		sep := ops.Read(right + keyBase) // first key of the right leaf
+		if key < sep {
+			leafInsertAt(ops, n, mid, i, key, value)
+		} else {
+			j := search(ops, right, cnt-mid, key)
+			leafInsertAt(ops, right, cnt-mid, j, key, value)
+		}
+		return true, sep, right
+	}
+
+	if i < cnt && ops.Read(n+keyBase+memsim.Addr(i)) == key {
+		i++
+	}
+	child := memsim.Addr(ops.Read(n + childBase + memsim.Addr(i)))
+	newKey, csKey, csNode := t.insertRec(ops, child, key, value, pool)
+	if csNode == 0 {
+		return newKey, 0, 0
+	}
+	// Child split: insert (csKey, csNode) into this internal node.
+	if cnt < MaxKeys {
+		internalInsertAt(ops, n, cnt, i, csKey, uint64(csNode))
+		return newKey, 0, 0
+	}
+	// Split this internal node. The middle key moves up.
+	right := pool.take()
+	mid := MaxKeys / 2 // keys [0,mid) stay, key mid moves up, (mid,cnt) move right
+	upKey := ops.Read(n + keyBase + memsim.Addr(mid))
+	moveInternalUpper(ops, n, right, mid, cnt)
+	if csKey < upKey {
+		internalInsertAt(ops, n, mid, i, csKey, uint64(csNode))
+	} else {
+		j := i - mid - 1
+		internalInsertAt(ops, right, cnt-mid-1, j, csKey, uint64(csNode))
+	}
+	return newKey, upKey, right
+}
+
+// leafInsertAt shifts entries [i,cnt) right and writes (key,value) at i.
+func leafInsertAt(ops tm.Ops, n memsim.Addr, cnt, i int, key, value uint64) {
+	for j := cnt; j > i; j-- {
+		ops.Write(n+keyBase+memsim.Addr(j), ops.Read(n+keyBase+memsim.Addr(j-1)))
+		ops.Write(n+childBase+memsim.Addr(j), ops.Read(n+childBase+memsim.Addr(j-1)))
+	}
+	ops.Write(n+keyBase+memsim.Addr(i), key)
+	ops.Write(n+childBase+memsim.Addr(i), value)
+	ops.Write(n+hdrWord, leafFlag|uint64(cnt+1))
+}
+
+// internalInsertAt inserts key at slot i and child pointer at slot i+1.
+func internalInsertAt(ops tm.Ops, n memsim.Addr, cnt, i int, key, child uint64) {
+	for j := cnt; j > i; j-- {
+		ops.Write(n+keyBase+memsim.Addr(j), ops.Read(n+keyBase+memsim.Addr(j-1)))
+		ops.Write(n+childBase+memsim.Addr(j+1), ops.Read(n+childBase+memsim.Addr(j)))
+	}
+	ops.Write(n+keyBase+memsim.Addr(i), key)
+	ops.Write(n+childBase+memsim.Addr(i+1), child)
+	ops.Write(n+hdrWord, uint64(cnt+1))
+}
+
+// moveLeafUpper moves leaf entries [mid,cnt) of n to fresh leaf right and
+// links right into the leaf chain after n.
+func moveLeafUpper(ops tm.Ops, n, right memsim.Addr, mid, cnt int) {
+	for j := mid; j < cnt; j++ {
+		ops.Write(right+keyBase+memsim.Addr(j-mid), ops.Read(n+keyBase+memsim.Addr(j)))
+		ops.Write(right+childBase+memsim.Addr(j-mid), ops.Read(n+childBase+memsim.Addr(j)))
+	}
+	ops.Write(right+hdrWord, leafFlag|uint64(cnt-mid))
+	ops.Write(right+nextWord, ops.Read(n+nextWord))
+	ops.Write(n+nextWord, uint64(right))
+	ops.Write(n+hdrWord, leafFlag|uint64(mid))
+}
+
+// moveInternalUpper moves keys (mid,cnt) and children (mid,cnt] of n to
+// fresh internal node right (key mid is promoted by the caller).
+func moveInternalUpper(ops tm.Ops, n, right memsim.Addr, mid, cnt int) {
+	for j := mid + 1; j < cnt; j++ {
+		ops.Write(right+keyBase+memsim.Addr(j-mid-1), ops.Read(n+keyBase+memsim.Addr(j)))
+	}
+	for j := mid + 1; j <= cnt; j++ {
+		ops.Write(right+childBase+memsim.Addr(j-mid-1), ops.Read(n+childBase+memsim.Addr(j)))
+	}
+	ops.Write(right+hdrWord, uint64(cnt-mid-1))
+	ops.Write(n+hdrWord, uint64(mid))
+}
+
+// Delete removes key from its leaf (lazy: no rebalancing), reporting
+// whether the key was present.
+func (t *Tree) Delete(ops tm.Ops, key uint64) bool {
+	n := t.root(ops)
+	for {
+		hdr := ops.Read(n + hdrWord)
+		cnt := count(hdr)
+		i := search(ops, n, cnt, key)
+		if isLeaf(hdr) {
+			if i >= cnt || ops.Read(n+keyBase+memsim.Addr(i)) != key {
+				return false
+			}
+			for j := i; j < cnt-1; j++ {
+				ops.Write(n+keyBase+memsim.Addr(j), ops.Read(n+keyBase+memsim.Addr(j+1)))
+				ops.Write(n+childBase+memsim.Addr(j), ops.Read(n+childBase+memsim.Addr(j+1)))
+			}
+			ops.Write(n+hdrWord, leafFlag|uint64(cnt-1))
+			return true
+		}
+		if i < cnt && ops.Read(n+keyBase+memsim.Addr(i)) == key {
+			i++
+		}
+		n = memsim.Addr(ops.Read(n + childBase + memsim.Addr(i)))
+	}
+}
+
+// RangeScan visits all (key,value) pairs with lo <= key <= hi in order,
+// streaming the leaf chain. fn returning false stops the scan. The scan's
+// footprint is ~2 cache lines per 14 entries — the long-read-set shape
+// SI-HTM's read-only fast path exists for.
+func (t *Tree) RangeScan(ops tm.Ops, lo, hi uint64, fn func(key, value uint64) bool) {
+	n := t.root(ops)
+	// Descend to the leaf that may hold lo.
+	for {
+		hdr := ops.Read(n + hdrWord)
+		if isLeaf(hdr) {
+			break
+		}
+		cnt := count(hdr)
+		i := search(ops, n, cnt, lo)
+		if i < cnt && ops.Read(n+keyBase+memsim.Addr(i)) == lo {
+			i++
+		}
+		n = memsim.Addr(ops.Read(n + childBase + memsim.Addr(i)))
+	}
+	for n != 0 {
+		hdr := ops.Read(n + hdrWord)
+		cnt := count(hdr)
+		for i := search(ops, n, cnt, lo); i < cnt; i++ {
+			k := ops.Read(n + keyBase + memsim.Addr(i))
+			if k > hi {
+				return
+			}
+			if !fn(k, ops.Read(n+childBase+memsim.Addr(i))) {
+				return
+			}
+		}
+		n = memsim.Addr(ops.Read(n + nextWord))
+	}
+}
+
+// Count returns the number of keys (verification helper; walks the whole
+// leaf chain).
+func (t *Tree) Count(ops tm.Ops) int {
+	total := 0
+	t.RangeScan(ops, 0, ^uint64(0), func(uint64, uint64) bool {
+		total++
+		return true
+	})
+	return total
+}
+
+// CheckInvariants verifies the structural invariants non-transactionally:
+// sorted keys in every node, children's key ranges consistent with their
+// separators, uniform leaf depth, and an intact leaf chain. Verification
+// helper for tests; must run quiescently.
+func (t *Tree) CheckInvariants() error {
+	heap := t.heap
+	root := memsim.Addr(heap.Load(t.rootCell))
+	leafDepth := -1
+	var prevLeafLast *uint64
+
+	var walk func(n memsim.Addr, depth int, lo, hi *uint64) error
+	walk = func(n memsim.Addr, depth int, lo, hi *uint64) error {
+		hdr := heap.Load(n + hdrWord)
+		cnt := count(hdr)
+		if cnt > MaxKeys {
+			return fmt.Errorf("btree: node %d has %d keys (max %d)", n, cnt, MaxKeys)
+		}
+		var prev *uint64
+		for i := 0; i < cnt; i++ {
+			k := heap.Load(n + keyBase + memsim.Addr(i))
+			if prev != nil && k <= *prev {
+				return fmt.Errorf("btree: node %d keys out of order at %d", n, i)
+			}
+			if lo != nil && k < *lo {
+				return fmt.Errorf("btree: node %d key %d below lower bound %d", n, k, *lo)
+			}
+			if hi != nil && k >= *hi {
+				return fmt.Errorf("btree: node %d key %d at/above upper bound %d", n, k, *hi)
+			}
+			kCopy := k
+			prev = &kCopy
+		}
+		if isLeaf(hdr) {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return fmt.Errorf("btree: leaf depth %d != %d (unbalanced)", depth, leafDepth)
+			}
+			if cnt > 0 {
+				first := heap.Load(n + keyBase)
+				if prevLeafLast != nil && first <= *prevLeafLast {
+					return fmt.Errorf("btree: leaf chain out of order (%d after %d)", first, *prevLeafLast)
+				}
+				last := heap.Load(n + keyBase + memsim.Addr(cnt-1))
+				prevLeafLast = &last
+			}
+			return nil
+		}
+		for i := 0; i <= cnt; i++ {
+			child := memsim.Addr(heap.Load(n + childBase + memsim.Addr(i)))
+			if child == 0 {
+				return fmt.Errorf("btree: node %d child %d is nil", n, i)
+			}
+			var cLo, cHi *uint64
+			if i > 0 {
+				k := heap.Load(n + keyBase + memsim.Addr(i-1))
+				cLo = &k
+			} else {
+				cLo = lo
+			}
+			if i < cnt {
+				k := heap.Load(n + keyBase + memsim.Addr(i))
+				cHi = &k
+			} else {
+				cHi = hi
+			}
+			if err := walk(child, depth+1, cLo, cHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(root, 0, nil, nil)
+}

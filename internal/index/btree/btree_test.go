@@ -1,0 +1,304 @@
+package btree_test
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"sihtm/internal/index/btree"
+	"sihtm/internal/memsim"
+	"sihtm/internal/rng"
+	"sihtm/internal/tm"
+	"sihtm/internal/tmtest"
+)
+
+// plainOps runs tree operations without a transaction.
+type plainOps struct{ heap *memsim.Heap }
+
+func (o plainOps) Read(a memsim.Addr) uint64     { return o.heap.Load(a) }
+func (o plainOps) Write(a memsim.Addr, v uint64) { o.heap.Store(a, v) }
+
+func newTree(t testing.TB, lines int) (*btree.Tree, *memsim.Heap, *btree.Pool, plainOps) {
+	t.Helper()
+	heap := memsim.NewHeapLines(lines)
+	tr := btree.New(heap)
+	pool := btree.NewPool(heap)
+	return tr, heap, pool, plainOps{heap}
+}
+
+// insert is the full pool protocol for one non-transactional insert.
+func insert(tr *btree.Tree, pool *btree.Pool, ops tm.Ops, k, v uint64) bool {
+	pool.Refill(btree.RecommendedPoolSize())
+	pool.Reset()
+	fresh := tr.Insert(ops, k, v, pool)
+	pool.Commit()
+	return fresh
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr, _, _, ops := newTree(t, 1<<10)
+	if _, ok := tr.Lookup(ops, 42); ok {
+		t.Fatal("lookup in empty tree succeeded")
+	}
+	if tr.Count(ops) != 0 {
+		t.Fatal("empty tree has nonzero count")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertLookupUpdate(t *testing.T) {
+	tr, _, pool, ops := newTree(t, 1<<12)
+	if !insert(tr, pool, ops, 5, 50) {
+		t.Fatal("fresh insert reported existing")
+	}
+	if insert(tr, pool, ops, 5, 51) {
+		t.Fatal("update reported fresh")
+	}
+	if v, ok := tr.Lookup(ops, 5); !ok || v != 51 {
+		t.Fatalf("lookup = %d,%v", v, ok)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Sequential, reverse and shuffled bulk inserts exercise every split path.
+func TestBulkInsertOrders(t *testing.T) {
+	const n = 3000
+	orders := map[string]func(i int) uint64{
+		"ascending":  func(i int) uint64 { return uint64(i) },
+		"descending": func(i int) uint64 { return uint64(n - i) },
+		"shuffled":   nil, // filled below
+	}
+	perm := make([]int, n)
+	rng.New(9).Perm(perm)
+	orders["shuffled"] = func(i int) uint64 { return uint64(perm[i]) }
+
+	for name, keyOf := range orders {
+		t.Run(name, func(t *testing.T) {
+			tr, _, pool, ops := newTree(t, 1<<14)
+			for i := 0; i < n; i++ {
+				insert(tr, pool, ops, keyOf(i), keyOf(i)*2)
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if got := tr.Count(ops); got != n {
+				t.Fatalf("count = %d, want %d", got, n)
+			}
+			for i := 0; i < n; i++ {
+				k := keyOf(i)
+				if v, ok := tr.Lookup(ops, k); !ok || v != k*2 {
+					t.Fatalf("lookup(%d) = %d,%v", k, v, ok)
+				}
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr, _, pool, ops := newTree(t, 1<<14)
+	const n = 500
+	for i := 0; i < n; i++ {
+		insert(tr, pool, ops, uint64(i), uint64(i))
+	}
+	// Delete every third key.
+	for i := 0; i < n; i += 3 {
+		if !tr.Delete(ops, uint64(i)) {
+			t.Fatalf("delete(%d) missed", i)
+		}
+	}
+	if tr.Delete(ops, 0) {
+		t.Fatal("double delete succeeded")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		_, ok := tr.Lookup(ops, uint64(i))
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("lookup(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	tr, _, pool, ops := newTree(t, 1<<14)
+	for i := 0; i < 1000; i += 2 { // even keys only
+		insert(tr, pool, ops, uint64(i), uint64(i)*10)
+	}
+	var got []uint64
+	tr.RangeScan(ops, 100, 200, func(k, v uint64) bool {
+		if v != k*10 {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 51 { // 100,102,...,200
+		t.Fatalf("scan returned %d keys, want 51", len(got))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("scan out of order")
+	}
+	// Early stop.
+	count := 0
+	tr.RangeScan(ops, 0, ^uint64(0), func(uint64, uint64) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Empty range.
+	tr.RangeScan(ops, 301, 301, func(k, v uint64) bool {
+		t.Fatalf("empty range visited %d", k)
+		return false
+	})
+}
+
+// Property: the tree agrees with a shadow map over random op sequences.
+func TestTreeMatchesShadowProperty(t *testing.T) {
+	type op struct {
+		Kind uint8
+		Key  uint16
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		tr, _, pool, po := newTree(t, 1<<14)
+		shadow := map[uint64]uint64{}
+		for _, o := range ops {
+			k := uint64(o.Key % 512)
+			switch o.Kind % 3 {
+			case 0:
+				fresh := insert(tr, pool, po, k, uint64(o.Val))
+				_, existed := shadow[k]
+				if fresh == existed {
+					return false
+				}
+				shadow[k] = uint64(o.Val)
+			case 1:
+				deleted := tr.Delete(po, k)
+				_, existed := shadow[k]
+				if deleted != existed {
+					return false
+				}
+				delete(shadow, k)
+			case 2:
+				v, ok := tr.Lookup(po, k)
+				sv, sok := shadow[k]
+				if ok != sok || (ok && v != sv) {
+					return false
+				}
+			}
+		}
+		if tr.CheckInvariants() != nil {
+			return false
+		}
+		return tr.Count(po) == len(shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The tree must stay structurally sound under concurrent transactional
+// use on every system — including SI-HTM, where node-level write-write
+// conflicts are what forbid the torn-split anomalies.
+func TestConcurrentInsertsUnderEverySystem(t *testing.T) {
+	for _, f := range tmtest.StandardFactories(0) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			heap := memsim.NewHeapLines(1 << 14)
+			tr := btree.New(heap)
+			const threads = 4
+			const perThread = 250
+			sys := f.New(heap, threads)
+			var wg sync.WaitGroup
+			for id := 0; id < threads; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					pool := btree.NewPool(heap)
+					r := rng.New(uint64(id) + 77)
+					for i := 0; i < perThread; i++ {
+						k := uint64(id*perThread + i)
+						v := r.Uint64()
+						pool.Refill(btree.RecommendedPoolSize())
+						sys.Atomic(id, tm.KindUpdate, func(ops tm.Ops) {
+							pool.Reset()
+							tr.Insert(ops, k, v, pool)
+						})
+						pool.Commit()
+						if i%10 == 0 { // interleave range scans
+							// Only the committed attempt's observation counts:
+							// optimistic systems (Silo) may expose inconsistent
+							// scans in attempts they abort and retry.
+							badOrder := false
+							sys.Atomic(id, tm.KindReadOnly, func(ops tm.Ops) {
+								badOrder = false
+								prev := uint64(0)
+								first := true
+								tr.RangeScan(ops, 0, ^uint64(0), func(key, _ uint64) bool {
+									if !first && key <= prev {
+										badOrder = true
+										return false
+									}
+									prev, first = key, false
+									return true
+								})
+							})
+							if badOrder {
+								t.Errorf("committed scan out of order under %s", f.Name)
+							}
+						}
+					}
+				}(id)
+			}
+			wg.Wait()
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+			po := plainOps{heap}
+			if got := tr.Count(po); got != threads*perThread {
+				t.Fatalf("%s: count = %d, want %d", f.Name, got, threads*perThread)
+			}
+			for id := 0; id < threads; id++ {
+				for i := 0; i < perThread; i += 17 {
+					if _, ok := tr.Lookup(po, uint64(id*perThread+i)); !ok {
+						t.Fatalf("%s: key %d lost", f.Name, id*perThread+i)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestPoolProtocol(t *testing.T) {
+	heap := memsim.NewHeapLines(1 << 10)
+	pool := btree.NewPool(heap)
+	pool.Refill(3)
+	if pool.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", pool.Len())
+	}
+	pool.Refill(2) // no-op: already above
+	if pool.Len() != 3 {
+		t.Fatalf("Len after smaller refill = %d, want 3", pool.Len())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted pool did not panic")
+		}
+	}()
+	tr := btree.New(heap)
+	ops := plainOps{heap}
+	// 3 nodes cannot absorb the splits of hundreds of inserts without a
+	// Refill; the pool must panic rather than allocate mid-transaction.
+	pool.Reset()
+	for i := 0; i < 10000; i++ {
+		tr.Insert(ops, uint64(i), 1, pool)
+	}
+}

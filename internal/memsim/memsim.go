@@ -1,0 +1,159 @@
+// Package memsim provides the simulated, cache-line-structured memory that
+// every concurrency control in this repository operates on.
+//
+// The paper's systems manipulate pre-allocated memory locations indexed by
+// virtual address (§3), and the P8-HTM hardware tracks conflicts and
+// capacity at the granularity of 128-byte cache lines (§2.2). memsim
+// reproduces that addressing model in software: memory is a flat array of
+// 64-bit words, grouped into lines of 16 words (128 bytes), and every
+// address can be mapped to its line. Workloads lay out their records over
+// this heap exactly as a C program would lay them out over real memory, so
+// transaction footprints (in cache lines) — the quantity the paper's whole
+// argument revolves around — are meaningful.
+//
+// Raw Load/Store accessors are atomic but perform no conflict detection;
+// they are the substrate the HTM simulator (internal/htm) builds on, and
+// are also used for single-threaded setup and verification.
+package memsim
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Cache-line geometry of the IBM POWER8/9 (paper §2.2: the 8 KB TMCAM
+// holds 64 lines of 128 bytes).
+const (
+	WordBytes     = 8
+	LineBytes     = 128
+	WordsPerLine  = LineBytes / WordBytes // 16
+	lineShift     = 4                     // log2(WordsPerLine)
+	lineWordsMask = WordsPerLine - 1
+)
+
+// Addr is a word address into a Heap. Address 0 is valid; workloads that
+// need a nil sentinel reserve it via NewHeap's first allocation.
+type Addr uint64
+
+// Line identifies a cache line (Addr >> lineShift).
+type Line uint64
+
+// LineOf returns the cache line containing a.
+func LineOf(a Addr) Line { return Line(a >> lineShift) }
+
+// WordInLine returns a's word offset within its cache line.
+func WordInLine(a Addr) int { return int(a & lineWordsMask) }
+
+// FirstAddr returns the address of the first word of line l.
+func (l Line) FirstAddr() Addr { return Addr(l) << lineShift }
+
+// LinesSpanned reports how many cache lines an object of size words
+// starting at a touches.
+func LinesSpanned(a Addr, words int) int {
+	if words <= 0 {
+		return 0
+	}
+	first := LineOf(a)
+	last := LineOf(a + Addr(words) - 1)
+	return int(last-first) + 1
+}
+
+// Heap is a flat, fixed-capacity simulated memory with a thread-safe bump
+// allocator. All word accesses are atomic, which makes the raw accessors
+// safe under the race detector; isolation and conflict detection are the
+// job of the layers above.
+type Heap struct {
+	words []uint64
+	next  atomic.Uint64 // bump pointer, in words
+}
+
+// NewHeap creates a heap holding the given number of words. The first word
+// is pre-allocated so that Addr 0 can serve as a null sentinel.
+func NewHeap(words int) *Heap {
+	if words <= 0 {
+		panic(fmt.Sprintf("memsim: heap size must be positive, got %d words", words))
+	}
+	h := &Heap{words: make([]uint64, words)}
+	h.next.Store(1) // reserve Addr 0 as nil
+	return h
+}
+
+// NewHeapLines creates a heap holding the given number of cache lines.
+func NewHeapLines(lines int) *Heap { return NewHeap(lines * WordsPerLine) }
+
+// Size returns the heap capacity in words.
+func (h *Heap) Size() int { return len(h.words) }
+
+// Allocated returns the number of words handed out so far (including the
+// reserved null word and any alignment padding).
+func (h *Heap) Allocated() int { return int(h.next.Load()) }
+
+// Load atomically reads the word at a. It performs no conflict detection.
+func (h *Heap) Load(a Addr) uint64 {
+	return atomic.LoadUint64(&h.words[a])
+}
+
+// Store atomically writes the word at a. It performs no conflict detection.
+func (h *Heap) Store(a Addr, v uint64) {
+	atomic.StoreUint64(&h.words[a], v)
+}
+
+// CompareAndSwap atomically replaces the word at a with new if it equals
+// old, reporting whether the swap happened. It performs no conflict
+// detection; the HTM layer wraps it for lock words that live in the heap.
+func (h *Heap) CompareAndSwap(a Addr, old, new uint64) bool {
+	return atomic.CompareAndSwapUint64(&h.words[a], old, new)
+}
+
+// Alloc reserves size words with no particular alignment and returns the
+// address of the first. It is safe for concurrent use. Alloc panics if the
+// heap is exhausted: heaps are sized up-front from workload parameters, so
+// exhaustion is a configuration bug, not a runtime condition.
+func (h *Heap) Alloc(size int) Addr {
+	return h.AllocAligned(size, 1)
+}
+
+// AllocLine reserves one full cache line, line-aligned. This is the
+// workhorse for workloads that want a known per-object footprint of
+// exactly one line (e.g. hash-map chain nodes, matching the paper's
+// "one element ≈ one cache line" footprint accounting).
+func (h *Heap) AllocLine() Addr {
+	return h.AllocAligned(WordsPerLine, WordsPerLine)
+}
+
+// AllocLines reserves n full cache lines, line-aligned.
+func (h *Heap) AllocLines(n int) Addr {
+	return h.AllocAligned(n*WordsPerLine, WordsPerLine)
+}
+
+// AllocAligned reserves size words aligned to alignWords (which must be a
+// power of two) and returns the address of the first.
+func (h *Heap) AllocAligned(size, alignWords int) Addr {
+	if size <= 0 {
+		panic(fmt.Sprintf("memsim: allocation size must be positive, got %d", size))
+	}
+	if alignWords <= 0 || alignWords&(alignWords-1) != 0 {
+		panic(fmt.Sprintf("memsim: alignment must be a positive power of two, got %d", alignWords))
+	}
+	mask := uint64(alignWords - 1)
+	for {
+		cur := h.next.Load()
+		start := (cur + mask) &^ mask
+		end := start + uint64(size)
+		if end > uint64(len(h.words)) {
+			panic(fmt.Sprintf("memsim: heap exhausted: need %d words at %d, capacity %d",
+				size, start, len(h.words)))
+		}
+		if h.next.CompareAndSwap(cur, end) {
+			return Addr(start)
+		}
+	}
+}
+
+// Zero clears size words starting at a. Setup-time helper; not atomic as a
+// unit (each word store is atomic).
+func (h *Heap) Zero(a Addr, size int) {
+	for i := 0; i < size; i++ {
+		h.Store(a+Addr(i), 0)
+	}
+}

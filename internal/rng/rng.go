@@ -1,0 +1,133 @@
+// Package rng provides the deterministic pseudo-random number generation
+// used by the workload generators: a per-thread splitmix64/xorshift-based
+// generator (no locking, reproducible from a seed) plus the TPC-C
+// specification's non-uniform random (NURand) and customer last-name
+// helpers (TPC-C standard rev. 5.11, clause 2.1.6 and 4.3.2).
+package rng
+
+import "fmt"
+
+// Rand is a small, fast, deterministic PRNG (xoshiro256** seeded by
+// splitmix64). It is not safe for concurrent use; give each worker its
+// own instance.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed. Distinct seeds — including
+// sequential ones — produce decorrelated streams thanks to the splitmix64
+// seeding pass.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	// A state of all zeros would be a fixed point; splitmix64 cannot
+	// produce it from any seed, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 1
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic(fmt.Sprintf("rng: Intn argument must be positive, got %d", n))
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// IntRange returns a uniform int in [lo, hi] inclusive, the "random(x..y)"
+// primitive of the TPC-C spec. It panics if hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic(fmt.Sprintf("rng: IntRange bounds inverted: [%d,%d]", lo, hi))
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability pPercent/100.
+func (r *Rand) Bool(pPercent int) bool {
+	return r.Intn(100) < pPercent
+}
+
+// TPC-C clause 2.1.6: NURand(A, x, y) =
+// (((random(0..A) | random(x..y)) + C) % (y - x + 1)) + x.
+// The constants A are fixed by the spec per use; C is a per-run constant.
+const (
+	NURandACustomerID   = 1023
+	NURandAItemID       = 8191
+	NURandACustomerLast = 255
+)
+
+// NURand implements the spec's non-uniform random function with run
+// constant c.
+func (r *Rand) NURand(a, x, y, c int) int {
+	return (((r.IntRange(0, a) | r.IntRange(x, y)) + c) % (y - x + 1)) + x
+}
+
+// CustomerID returns a NURand customer number in [1, customers].
+func (r *Rand) CustomerID(customers, c int) int {
+	return r.NURand(NURandACustomerID, 1, customers, c)
+}
+
+// ItemID returns a NURand item number in [1, items].
+func (r *Rand) ItemID(items, c int) int {
+	return r.NURand(NURandAItemID, 1, items, c)
+}
+
+// lastNameSyllables are the ten syllables of TPC-C clause 4.3.2.3.
+var lastNameSyllables = [10]string{
+	"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+}
+
+// LastName composes the customer last name for a number in [0, 999].
+func LastName(num int) string {
+	if num < 0 || num > 999 {
+		panic(fmt.Sprintf("rng: LastName argument must be in [0,999], got %d", num))
+	}
+	return lastNameSyllables[num/100] + lastNameSyllables[(num/10)%10] + lastNameSyllables[num%10]
+}
+
+// LastNameNum draws the NURand(255, 0, 999) last-name number used by
+// Payment and Order-Status.
+func (r *Rand) LastNameNum(c int) int {
+	return r.NURand(NURandACustomerLast, 0, 999, c)
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (r *Rand) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,105 @@
+package sgl_test
+
+import (
+	"sync"
+	"testing"
+
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/sgl"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+)
+
+func newMachine(t testing.TB) *htm.Machine {
+	t.Helper()
+	heap := memsim.NewHeapLines(1 << 8)
+	return htm.NewMachine(heap, htm.Config{Topology: topology.New(4, 1)})
+}
+
+func TestLockBasics(t *testing.T) {
+	m := newMachine(t)
+	l := sgl.New(m)
+	th := m.Thread(0)
+	if l.IsLocked(th) {
+		t.Fatal("fresh lock is locked")
+	}
+	l.Acquire(th)
+	if !l.IsLocked(th) || !l.HeldBy(th) {
+		t.Fatal("acquired lock not held")
+	}
+	if l.HeldBy(m.Thread(1)) {
+		t.Fatal("HeldBy true for non-holder")
+	}
+	l.Release(th)
+	if l.IsLocked(th) {
+		t.Fatal("released lock still locked")
+	}
+}
+
+func TestReleaseByNonHolderPanics(t *testing.T) {
+	m := newMachine(t)
+	l := sgl.New(m)
+	l.Acquire(m.Thread(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release by non-holder did not panic")
+		}
+	}()
+	l.Release(m.Thread(1))
+}
+
+func TestMutualExclusion(t *testing.T) {
+	m := newMachine(t)
+	l := sgl.New(m)
+	counter := 0 // plain int: the lock must make this safe
+	const threads = 4
+	const per = 2000
+	var wg sync.WaitGroup
+	for id := 0; id < threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			th := m.Thread(id)
+			for i := 0; i < per; i++ {
+				l.Acquire(th)
+				counter++
+				l.Release(th)
+			}
+		}(id)
+	}
+	wg.Wait()
+	if counter != threads*per {
+		t.Fatalf("counter = %d, want %d", counter, threads*per)
+	}
+}
+
+func TestSystemSerialisesEverything(t *testing.T) {
+	m := newMachine(t)
+	sys := sgl.NewSystem(m, 4)
+	if sys.Name() != "sgl" || sys.Threads() != 4 {
+		t.Fatalf("Name/Threads = %q/%d", sys.Name(), sys.Threads())
+	}
+	x := m.Heap().AllocLine()
+	const per = 1000
+	var wg sync.WaitGroup
+	for id := 0; id < 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sys.Atomic(id, tm.KindUpdate, func(ops tm.Ops) {
+					ops.Write(x, ops.Read(x)+1)
+				})
+			}
+		}(id)
+	}
+	wg.Wait()
+	if got := m.Heap().Load(x); got != 4*per {
+		t.Fatalf("counter = %d, want %d", got, 4*per)
+	}
+	s := sys.Collector().Snapshot()
+	if s.Commits != 4*per || s.Fallbacks != 4*per || s.TotalAborts() != 0 {
+		t.Fatalf("stats = %v", s)
+	}
+}

@@ -1,0 +1,54 @@
+package sihtm
+
+import (
+	"runtime"
+
+	"sihtm/internal/clock"
+	"sihtm/internal/tm"
+)
+
+// AtomicBatch implements the paper's §6 "batching alternative": instead of
+// idling through one safety wait per transaction, a thread runs several
+// transaction bodies inside a single ROT and pays a single quiescence and
+// a single hardware commit for the whole group. The group commits
+// atomically; if any body's execution aborts, the whole group retries, and
+// after the retry budget the group runs serially under the global lock.
+//
+// Read-only bodies in the batch execute through the ROT as well (their
+// reads are untracked and free); an all-read-only batch still skips the
+// safety wait only if the fast path is taken per body via Atomic, so
+// callers should batch update-heavy streams.
+func (s *System) AtomicBatch(thread int, bodies []func(tm.Ops)) {
+	if len(bodies) == 0 {
+		return
+	}
+	th := s.m.Thread(thread)
+	l := s.col.Thread(thread)
+
+	for attempt := 0; attempt < s.cfg.Retries; attempt++ {
+		s.syncWithGL(thread, th)
+		ab := s.updateOnce(thread, th, l, func(ops tm.Ops) {
+			for _, body := range bodies {
+				body(ops)
+			}
+		})
+		if ab == nil {
+			for range bodies {
+				l.Commit(false)
+			}
+			return
+		}
+		s.state[thread].v.Store(clock.Inactive)
+		l.Abort(tm.AbortKindOf(ab.Code))
+		runtime.Gosched()
+	}
+
+	s.lock.Acquire(th)
+	s.drainOthers(thread)
+	for _, body := range bodies {
+		body(tm.PlainOps{Th: th})
+		l.Commit(false)
+	}
+	s.lock.Release(th)
+	l.Fallback()
+}

@@ -1,0 +1,121 @@
+// Package tm defines the interface every concurrency-control system in
+// this repository implements — SI-HTM and all the baselines the paper
+// compares against (plain HTM, P8TM, Silo, and a single-global-lock
+// reference). Workloads are written once against tm.System/tm.Ops and run
+// unchanged on every system, exactly like the paper's benchmarks run on
+// interchangeable back-ends.
+package tm
+
+import (
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/stats"
+)
+
+// Kind declares a transaction's profile at launch. The paper's §3.3: "When
+// a transaction is launched in SI-HTM, an argument specifies whether the
+// transaction is read-only or not. We assume this parameter is set by the
+// programmer or by some automatic tool."
+type Kind int
+
+const (
+	// KindUpdate is a transaction that may write shared data.
+	KindUpdate Kind = iota
+	// KindReadOnly promises the transaction performs no shared writes
+	// (thread-private writes — e.g. its own stack — are fine and are
+	// simply not routed through Ops).
+	KindReadOnly
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == KindReadOnly {
+		return "read-only"
+	}
+	return "update"
+}
+
+// Ops is the transactional memory access interface handed to transaction
+// bodies. Addresses index the shared simulated heap.
+type Ops interface {
+	// Read returns the word at a as observed by this transaction.
+	Read(a memsim.Addr) uint64
+	// Write updates the word at a within this transaction. Calling Write
+	// in a KindReadOnly transaction is a programming error; systems with
+	// a read-only fast path panic on it.
+	Write(a memsim.Addr, v uint64)
+}
+
+// System is a complete concurrency control. Atomic executes body as one
+// transaction, retrying and falling back internally as the system's
+// protocol dictates; when Atomic returns, the transaction has committed.
+//
+// The body may be executed multiple times (on aborts) and must therefore
+// be idempotent with respect to non-transactional side effects — the
+// standard TM contract.
+type System interface {
+	// Name identifies the system in benchmark output ("si-htm", "htm",
+	// "p8tm", "silo", "sgl").
+	Name() string
+	// Threads is the number of worker threads the system was sized for.
+	Threads() int
+	// Atomic runs body as one transaction on the given thread.
+	// Implementations guarantee the call returns only after a successful
+	// commit.
+	Atomic(thread int, kind Kind, body func(Ops))
+	// Collector exposes the per-thread statistics (commits, aborts by
+	// kind, fall-backs) that the paper's figures report.
+	Collector() *stats.Collector
+}
+
+// TxOps adapts a hardware transaction to Ops.
+type TxOps struct{ Tx *htm.Tx }
+
+// Read implements Ops.
+func (o TxOps) Read(a memsim.Addr) uint64 { return o.Tx.Read(a) }
+
+// Write implements Ops.
+func (o TxOps) Write(a memsim.Addr, v uint64) { o.Tx.Write(a, v) }
+
+// PlainOps adapts a hardware thread's plain (non-transactional) accesses
+// to Ops. It is the access path of SGL fall-backs and of SI-HTM's
+// read-only fast path.
+type PlainOps struct{ Th *htm.Thread }
+
+// Read implements Ops.
+func (o PlainOps) Read(a memsim.Addr) uint64 { return o.Th.Load(a) }
+
+// Write implements Ops.
+func (o PlainOps) Write(a memsim.Addr, v uint64) { o.Th.Store(a, v) }
+
+// ReadOnlyOps wraps an Ops and panics on Write: systems use it to enforce
+// the KindReadOnly promise on their uninstrumented fast paths, where a
+// stray write would otherwise silently corrupt isolation.
+type ReadOnlyOps struct{ Inner Ops }
+
+// Read implements Ops.
+func (o ReadOnlyOps) Read(a memsim.Addr) uint64 { return o.Inner.Read(a) }
+
+// Write implements Ops by panicking.
+func (o ReadOnlyOps) Write(memsim.Addr, uint64) {
+	panic("tm: Write inside a transaction declared read-only")
+}
+
+// AbortKindOf maps a hardware abort cause to the paper's abort taxonomy:
+// explicit aborts are raised by the lock-subscription check when the SGL
+// is busy, so they count as non-transactional, like the SGL kills
+// themselves.
+func AbortKindOf(code htm.AbortCode) stats.AbortKind {
+	switch code {
+	case htm.CodeTxConflict:
+		return stats.AbortTransactional
+	case htm.CodeNonTxConflict:
+		return stats.AbortNonTransactional
+	case htm.CodeCapacity:
+		return stats.AbortCapacity
+	case htm.CodeExplicit:
+		return stats.AbortNonTransactional
+	default:
+		return stats.AbortOther
+	}
+}

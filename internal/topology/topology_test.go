@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperTopology(t *testing.T) {
+	p := Paper()
+	if p.Cores() != 10 || p.SMTWays() != 8 {
+		t.Fatalf("Paper() = %v, want 10 cores × SMT-8", p)
+	}
+	if p.MaxThreads() != 80 {
+		t.Fatalf("MaxThreads() = %d, want 80", p.MaxThreads())
+	}
+}
+
+func TestPlaceSpreadsBeforeStacking(t *testing.T) {
+	p := Paper()
+	// First 10 threads: one per core, slot 0.
+	for i := 0; i < 10; i++ {
+		core, slot := p.Place(i)
+		if core != i || slot != 0 {
+			t.Fatalf("Place(%d) = (%d,%d), want (%d,0)", i, core, slot, i)
+		}
+	}
+	// Thread 10 stacks on core 0, slot 1.
+	core, slot := p.Place(10)
+	if core != 0 || slot != 1 {
+		t.Fatalf("Place(10) = (%d,%d), want (0,1)", core, slot)
+	}
+	// Thread 79 is the last SMT slot of the last core.
+	core, slot = p.Place(79)
+	if core != 9 || slot != 7 {
+		t.Fatalf("Place(79) = (%d,%d), want (9,7)", core, slot)
+	}
+}
+
+func TestPlaceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Place(80) on 10×8 topology did not panic")
+		}
+	}()
+	Paper().Place(80)
+}
+
+func TestNewValidation(t *testing.T) {
+	for _, tc := range []struct{ cores, ways int }{{0, 8}, {-1, 8}, {10, 0}, {10, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", tc.cores, tc.ways)
+				}
+			}()
+			New(tc.cores, tc.ways)
+		}()
+	}
+}
+
+func TestActiveSMTLevelMatchesPaperLadder(t *testing.T) {
+	p := Paper()
+	want := map[int]int{1: 1, 2: 1, 4: 1, 8: 1, 16: 2, 32: 4, 40: 4, 80: 8}
+	for n, lvl := range want {
+		if got := p.ActiveSMTLevel(n); got != lvl {
+			t.Errorf("ActiveSMTLevel(%d) = %d, want %d", n, got, lvl)
+		}
+	}
+	if got := p.ActiveSMTLevel(0); got != 0 {
+		t.Errorf("ActiveSMTLevel(0) = %d, want 0", got)
+	}
+	if got := p.ActiveSMTLevel(1000); got != 8 {
+		t.Errorf("ActiveSMTLevel(1000) = %d, want clamp to 8", got)
+	}
+}
+
+func TestThreadsOnCore(t *testing.T) {
+	p := Paper()
+	// With 16 threads: cores 0-5 have 2 threads, cores 6-9 have 1.
+	for core := 0; core < 10; core++ {
+		want := 1
+		if core < 6 {
+			want = 2
+		}
+		if got := p.ThreadsOnCore(core, 16); got != want {
+			t.Errorf("ThreadsOnCore(%d, 16) = %d, want %d", core, got, want)
+		}
+	}
+	if got := p.ThreadsOnCore(3, 0); got != 0 {
+		t.Errorf("ThreadsOnCore(3, 0) = %d, want 0", got)
+	}
+}
+
+// Property: summing ThreadsOnCore over all cores equals min(n, MaxThreads),
+// and the per-core count never exceeds what Place assigns.
+func TestThreadsOnCoreSumProperty(t *testing.T) {
+	p := Paper()
+	f := func(n uint8) bool {
+		total := 0
+		for core := 0; core < p.Cores(); core++ {
+			total += p.ThreadsOnCore(core, int(n))
+		}
+		want := int(n)
+		if want > p.MaxThreads() {
+			want = p.MaxThreads()
+		}
+		return total == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Place agrees with ThreadsOnCore — placing the first n threads
+// puts exactly ThreadsOnCore(c, n) of them on core c.
+func TestPlaceAgreesWithThreadsOnCore(t *testing.T) {
+	p := New(7, 5) // deliberately not the paper topology
+	f := func(nRaw uint8) bool {
+		n := int(nRaw) % (p.MaxThreads() + 1)
+		counts := make([]int, p.Cores())
+		for i := 0; i < n; i++ {
+			core, slot := p.Place(i)
+			if slot != counts[core] {
+				return false // slots must fill in order
+			}
+			counts[core]++
+		}
+		for c := 0; c < p.Cores(); c++ {
+			if counts[c] != p.ThreadsOnCore(c, n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := Paper().String(); got != "10 cores × SMT-8" {
+		t.Fatalf("String() = %q", got)
+	}
+}

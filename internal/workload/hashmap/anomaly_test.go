@@ -1,0 +1,89 @@
+package hashmap_test
+
+import (
+	"sync"
+	"testing"
+
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/hashmap"
+)
+
+// Regression test for the SI remove/remove write skew: without read
+// promotion in Remove, two concurrent removes of nearby nodes in one
+// chain can both commit under SI-HTM, leaving a "removed" node linked;
+// recycling that node then weaves a cycle into the chain. The promotion
+// turns the skew into a write-write conflict. This test hammers exactly
+// that interleaving and verifies structural integrity after every round.
+func TestConcurrentRemovesKeepChainsIntact(t *testing.T) {
+	heap := memsim.NewHeapLines(1 << 12)
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.New(2, 1)})
+	hm := hashmap.New(heap, 1) // single bucket: one shared chain
+	sys := sihtm.NewSystem(m, 2, sihtm.Config{})
+
+	const n = 12
+	ops := plainOps{heap}
+	nodes := make([]memsim.Addr, n)
+	for k := uint64(0); k < n; k++ {
+		nodes[k] = heap.AllocLine()
+		hm.Insert(ops, k, k, nodes[k])
+	}
+
+	for round := 0; round < 200; round++ {
+		// Two adjacent-in-chain keys removed concurrently. Chain order is
+		// reverse insertion order, so keys k and k+1 are adjacent.
+		k := uint64(round % (n - 1))
+		var removed [2]memsim.Addr
+		var wg sync.WaitGroup
+		wg.Add(2)
+		for i := 0; i < 2; i++ {
+			go func(i int) {
+				defer wg.Done()
+				key := k + uint64(i)
+				sys.Atomic(i, tm.KindUpdate, func(o tm.Ops) {
+					removed[i] = hm.Remove(o, key)
+				})
+			}(i)
+		}
+		wg.Wait()
+
+		if removed[0] == 0 || removed[1] == 0 {
+			t.Fatalf("round %d: remove missed a present key", round)
+		}
+		// Structural integrity: the chain must terminate within n steps,
+		// and neither removed key may be reachable.
+		verifyChain(t, hm, n, []uint64{k, k + 1})
+		if got := hm.Size(); got != n-2 {
+			t.Fatalf("round %d: size = %d, want %d", round, got, n-2)
+		}
+		// Reinsert the removed nodes (recycling them, as the workload does).
+		hm.Insert(ops, k, k, removed[0])
+		hm.Insert(ops, k+1, k+1, removed[1])
+	}
+}
+
+// verifyChain walks every bucket with a step bound, failing on cycles or
+// on reachable removed keys.
+func verifyChain(t *testing.T, m *hashmap.Map, maxSteps int, removedKeys []uint64) {
+	t.Helper()
+	walked, ok := m.WalkBounded(maxSteps + 2)
+	if !ok {
+		t.Fatal("chain walk exceeded bound: cycle in chain")
+	}
+	keys := make(map[uint64]bool)
+	for _, k := range walked {
+		if keys[k] {
+			t.Fatalf("key %d reachable twice: chain corrupted", k)
+		}
+		keys[k] = true
+	}
+	for _, k := range removedKeys {
+		if keys[k] {
+			t.Fatalf("removed key %d still reachable (write-skew unlink lost)", k)
+		}
+	}
+
+}

@@ -1,0 +1,102 @@
+package hashmap_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sihtm/internal/memsim"
+	"sihtm/internal/rng"
+	"sihtm/internal/workload/hashmap"
+)
+
+// Property: a random single-threaded operation sequence on the
+// transactional map behaves exactly like Go's built-in map.
+func TestMapMatchesGoMapProperty(t *testing.T) {
+	type op struct {
+		Kind  uint8 // 0 = lookup, 1 = insert, 2 = remove
+		Key   uint8
+		Value uint16
+	}
+	f := func(seed uint16, ops []op) bool {
+		heap := memsim.NewHeapLines(1 << 12)
+		m := hashmap.New(heap, 4)
+		shadow := make(map[uint64]uint64)
+		po := plainOps{heap}
+		free := heap.AllocLine()
+		for _, o := range ops {
+			key := uint64(o.Key % 32)
+			switch o.Kind % 3 {
+			case 0:
+				v, ok := m.Lookup(po, key)
+				sv, sok := shadow[key]
+				if ok != sok || (ok && v != sv) {
+					return false
+				}
+			case 1:
+				consumed := m.Insert(po, key, uint64(o.Value), free)
+				_, existed := shadow[key]
+				if consumed == existed {
+					return false // consumed iff the key was absent
+				}
+				shadow[key] = uint64(o.Value)
+				if consumed {
+					free = heap.AllocLine()
+				}
+			case 2:
+				node := m.Remove(po, key)
+				_, existed := shadow[key]
+				if (node != 0) != existed {
+					return false
+				}
+				delete(shadow, key)
+			}
+		}
+		if m.Size() != len(shadow) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: population size always equals half the key space, for any
+// geometry.
+func TestPopulationSizeProperty(t *testing.T) {
+	f := func(bRaw, eRaw uint8) bool {
+		b := int(bRaw)%16 + 1
+		e := int(eRaw)%12 + 1
+		cfg := hashmap.BenchConfig{Buckets: b, ElementsPerBucket: e, ReadOnlyPercent: 50}
+		heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+		bench, err := hashmap.NewBenchmark(heap, cfg)
+		if err != nil {
+			return false
+		}
+		return bench.Map.Size() == int(cfg.KeySpace()/2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: WalkBounded's cycle detection never fires on well-formed
+// maps built by random inserts.
+func TestWalkBoundedOnAcyclicMapsProperty(t *testing.T) {
+	r := rng.New(3)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		heap := memsim.NewHeapLines(1 << 12)
+		m := hashmap.New(heap, 3)
+		po := plainOps{heap}
+		for i := 0; i < n; i++ {
+			m.Insert(po, uint64(r.Intn(100)), 1, heap.AllocLine())
+		}
+		keys, ok := m.WalkBounded(n + 1)
+		return ok && len(keys) <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,296 @@
+package tpcc_test
+
+import (
+	"sync"
+	"testing"
+
+	"sihtm/internal/memsim"
+	"sihtm/internal/tm"
+	"sihtm/internal/tmtest"
+	"sihtm/internal/workload/tpcc"
+)
+
+// smallConfig is a fast test database: 2 warehouses, heavily scaled down.
+func smallConfig() tpcc.Config {
+	return tpcc.Config{Warehouses: 2, ScaleDiv: 100, OrderRing: 64, HistoryRing: 1024, Seed: 42}
+}
+
+func newDB(t testing.TB, cfg tpcc.Config) (*tpcc.DB, *memsim.Heap) {
+	t.Helper()
+	heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+	db, err := tpcc.NewDB(heap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, heap
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []tpcc.Config{
+		{Warehouses: 0},
+		{Warehouses: 1, ScaleDiv: 2000},
+		{Warehouses: 1, OrderRing: 8},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated", i)
+		}
+	}
+	good := smallConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	if good.Items() != 1000 || good.CustomersPerDistrict() != 30 {
+		t.Fatalf("scaled cardinalities = %d items, %d customers",
+			good.Items(), good.CustomersPerDistrict())
+	}
+}
+
+func TestFreshDatabaseIsConsistent(t *testing.T) {
+	db, _ := newDB(t, smallConfig())
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatalf("fresh database inconsistent: %v", err)
+	}
+	if db.Warehouses() != 2 {
+		t.Fatalf("warehouses = %d", db.Warehouses())
+	}
+	if db.TotalOrders() != 0 {
+		t.Fatalf("fresh TotalOrders = %d, want 0", db.TotalOrders())
+	}
+}
+
+func TestMixValidation(t *testing.T) {
+	if err := tpcc.StandardMix.Validate(); err != nil {
+		t.Fatalf("standard mix invalid: %v", err)
+	}
+	if err := tpcc.ReadDominatedMix.Validate(); err != nil {
+		t.Fatalf("read-dominated mix invalid: %v", err)
+	}
+	bad := tpcc.Mix{NewOrder: 50, Payment: 49} // sums to 99
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad mix validated")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	db, heap := newDB(t, smallConfig())
+	sys := tmtest.StandardFactories(0)[0].New(heap, 1) // sgl: deterministic
+	w, err := db.NewWorker(sys, 0, tpcc.StandardMix, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 4000
+	for i := 0; i < ops; i++ {
+		w.Op()
+	}
+	frac := func(tt tpcc.TxType) float64 { return float64(w.Executed[tt]) / ops }
+	if f := frac(tpcc.TxNewOrder); f < 0.40 || f > 0.50 {
+		t.Errorf("new-order fraction = %v, want ≈0.45", f)
+	}
+	if f := frac(tpcc.TxPayment); f < 0.38 || f > 0.48 {
+		t.Errorf("payment fraction = %v, want ≈0.43", f)
+	}
+	for _, tt := range []tpcc.TxType{tpcc.TxOrderStatus, tpcc.TxDelivery, tpcc.TxStockLevel} {
+		if f := frac(tt); f < 0.02 || f > 0.07 {
+			t.Errorf("%v fraction = %v, want ≈0.04", tt, f)
+		}
+	}
+}
+
+func TestTxTypeStrings(t *testing.T) {
+	want := map[tpcc.TxType]string{
+		tpcc.TxNewOrder:    "new-order",
+		tpcc.TxPayment:     "payment",
+		tpcc.TxOrderStatus: "order-status",
+		tpcc.TxDelivery:    "delivery",
+		tpcc.TxStockLevel:  "stock-level",
+	}
+	for tt, s := range want {
+		if tt.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(tt), tt.String(), s)
+		}
+	}
+	if !tpcc.TxOrderStatus.ReadOnly() || !tpcc.TxStockLevel.ReadOnly() {
+		t.Error("read-only profiles misclassified")
+	}
+	if tpcc.TxNewOrder.ReadOnly() || tpcc.TxPayment.ReadOnly() || tpcc.TxDelivery.ReadOnly() {
+		t.Error("update profiles misclassified")
+	}
+}
+
+// The central integration test: run the standard mix concurrently under
+// every concurrency control and verify the TPC-C consistency conditions
+// afterwards. The paper's claim that TPC-C is serializable under SI means
+// SI-HTM must pass the same checks as the serializable systems.
+func TestConcurrentRunStaysConsistent(t *testing.T) {
+	for _, f := range tmtest.StandardFactories(0) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			cfg := smallConfig()
+			db, heap := newDB(t, cfg)
+			const threads = 4
+			sys := f.New(heap, threads)
+			var wg sync.WaitGroup
+			for id := 0; id < threads; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					w, err := db.NewWorker(sys, id, tpcc.StandardMix, uint64(1000+id))
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < 150; i++ {
+						w.Op()
+					}
+				}(id)
+			}
+			wg.Wait()
+			if err := db.CheckConsistency(); err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+			if db.TotalOrders() == 0 {
+				t.Fatalf("%s: no orders entered", f.Name)
+			}
+		})
+	}
+}
+
+// Same, for the read-dominated mix.
+func TestReadDominatedRunStaysConsistent(t *testing.T) {
+	for _, f := range tmtest.StandardFactories(0) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Warehouses = 1 // high contention
+			db, heap := newDB(t, cfg)
+			const threads = 4
+			sys := f.New(heap, threads)
+			var wg sync.WaitGroup
+			for id := 0; id < threads; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					w, err := db.NewWorker(sys, id, tpcc.ReadDominatedMix, uint64(2000+id))
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < 150; i++ {
+						w.Op()
+					}
+				}(id)
+			}
+			wg.Wait()
+			if err := db.CheckConsistency(); err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+		})
+	}
+}
+
+// Delivery advances the undelivered queue and credits customers.
+func TestDeliveryProgress(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Warehouses = 1
+	db, heap := newDB(t, cfg)
+	sys := tmtest.StandardFactories(0)[0].New(heap, 1)
+	w, err := db.NewWorker(sys, 0, tpcc.Mix{Delivery: 100}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.TotalOrders()
+	for i := 0; i < 5; i++ {
+		w.Op()
+	}
+	if db.TotalOrders() != before {
+		t.Fatal("delivery entered orders")
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A pure new-order run must wrap the ring safely and stay consistent.
+func TestOrderRingWrapIsSafe(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Warehouses = 1
+	db, heap := newDB(t, cfg)
+	sys := tmtest.StandardFactories(0)[0].New(heap, 1)
+	w, err := db.NewWorker(sys, 0, tpcc.Mix{NewOrder: 100}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64-slot rings × 10 districts; 800 new-orders guarantee wraps.
+	for i := 0; i < 800; i++ {
+		w.Op()
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.TotalOrders(); got != 800 {
+		t.Fatalf("TotalOrders = %d, want 800", got)
+	}
+}
+
+// Payments must balance: warehouse YTD grows by exactly the amounts paid.
+func TestPaymentAccounting(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Warehouses = 1
+	db, heap := newDB(t, cfg)
+	sys := tmtest.StandardFactories(0)[0].New(heap, 2)
+	before := db.WarehouseYTD(0)
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			w, err := db.NewWorker(sys, id, tpcc.Mix{Payment: 100}, uint64(30+id))
+			if err != nil {
+				panic(err)
+			}
+			for i := 0; i < 200; i++ {
+				w.Op()
+			}
+		}(id)
+	}
+	wg.Wait()
+	if db.WarehouseYTD(0) <= before {
+		t.Fatal("payments did not accumulate")
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Read-only profiles must not modify the database.
+func TestReadOnlyProfilesDoNotWrite(t *testing.T) {
+	cfg := smallConfig()
+	db, heap := newDB(t, cfg)
+	sys := tmtest.StandardFactories(0)[2].New(heap, 1) // si-htm: RO fast path would panic on writes
+	w, err := db.NewWorker(sys, 0, tpcc.Mix{OrderStatus: 50, StockLevel: 50}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		w.Op()
+	}
+	if err := db.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if db.TotalOrders() != 0 {
+		t.Fatal("read-only run entered orders")
+	}
+	s := sys.Collector().Snapshot()
+	if s.CommitsRO != 200 {
+		t.Fatalf("RO commits = %d, want 200", s.CommitsRO)
+	}
+}
+
+func TestWorkerRejectsBadMix(t *testing.T) {
+	db, heap := newDB(t, smallConfig())
+	sys := tmtest.StandardFactories(0)[0].New(heap, 1)
+	if _, err := db.NewWorker(sys, 0, tpcc.Mix{NewOrder: 10}, 1); err == nil {
+		t.Fatal("bad mix accepted")
+	}
+}
+
+var _ = tm.KindUpdate

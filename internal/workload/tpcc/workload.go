@@ -1,0 +1,163 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"sihtm/internal/rng"
+	"sihtm/internal/tm"
+)
+
+// TxType identifies a TPC-C transaction profile.
+type TxType int
+
+// The five profiles.
+const (
+	TxNewOrder TxType = iota
+	TxPayment
+	TxOrderStatus
+	TxDelivery
+	TxStockLevel
+	NumTxTypes
+)
+
+// String implements fmt.Stringer.
+func (t TxType) String() string {
+	switch t {
+	case TxNewOrder:
+		return "new-order"
+	case TxPayment:
+		return "payment"
+	case TxOrderStatus:
+		return "order-status"
+	case TxDelivery:
+		return "delivery"
+	case TxStockLevel:
+		return "stock-level"
+	default:
+		return fmt.Sprintf("TxType(%d)", int(t))
+	}
+}
+
+// ReadOnly reports whether the profile performs no shared writes.
+func (t TxType) ReadOnly() bool { return t == TxOrderStatus || t == TxStockLevel }
+
+// Mix is a transaction mix in percent (summing to 100), in the flag order
+// of the paper's artifact: -s stock-level, -d delivery, -o order-status,
+// -p payment, -r new-order.
+type Mix struct {
+	StockLevel  int
+	Delivery    int
+	OrderStatus int
+	Payment     int
+	NewOrder    int
+}
+
+// StandardMix is the paper's `-s 4 -d 4 -o 4 -p 43 -r 45`.
+var StandardMix = Mix{StockLevel: 4, Delivery: 4, OrderStatus: 4, Payment: 43, NewOrder: 45}
+
+// ReadDominatedMix is the paper's `-s 4 -d 4 -o 80 -p 4 -r 8`.
+var ReadDominatedMix = Mix{StockLevel: 4, Delivery: 4, OrderStatus: 80, Payment: 4, NewOrder: 8}
+
+// Validate checks the mix sums to 100.
+func (m Mix) Validate() error {
+	if s := m.StockLevel + m.Delivery + m.OrderStatus + m.Payment + m.NewOrder; s != 100 {
+		return fmt.Errorf("tpcc: mix sums to %d, want 100", s)
+	}
+	return nil
+}
+
+// pick draws a profile according to the mix.
+func (m Mix) pick(r *rng.Rand) TxType {
+	v := r.Intn(100)
+	switch {
+	case v < m.NewOrder:
+		return TxNewOrder
+	case v < m.NewOrder+m.Payment:
+		return TxPayment
+	case v < m.NewOrder+m.Payment+m.OrderStatus:
+		return TxOrderStatus
+	case v < m.NewOrder+m.Payment+m.OrderStatus+m.Delivery:
+		return TxDelivery
+	default:
+		return TxStockLevel
+	}
+}
+
+// Worker drives one thread's share of the benchmark. Each worker has a
+// home warehouse (thread mod W, as in the paper's thread-pinning runs),
+// its own generator, and scratch buffers so transaction bodies allocate
+// nothing.
+type Worker struct {
+	db     *DB
+	sys    tm.System
+	thread int
+	mix    Mix
+	r      *rng.Rand
+	homeW  int
+	seq    uint64
+	seen   []bool // stock-level distinct-item scratch
+
+	// Executed counts committed transactions per profile.
+	Executed [NumTxTypes]uint64
+}
+
+// NewWorker builds the driver for one thread.
+func (db *DB) NewWorker(sys tm.System, thread int, mix Mix, seed uint64) (*Worker, error) {
+	if err := mix.Validate(); err != nil {
+		return nil, err
+	}
+	return &Worker{
+		db:     db,
+		sys:    sys,
+		thread: thread,
+		mix:    mix,
+		r:      rng.New(seed),
+		homeW:  thread % len(db.ws),
+		seen:   make([]bool, db.cfg.Items()),
+	}, nil
+}
+
+// Op draws one transaction from the mix and runs it to commit, returning
+// its profile. Delivery counts as one Op but runs its ten district legs
+// as separate transactions, as spec clause 2.7.4.2 permits.
+func (w *Worker) Op() TxType {
+	t := w.mix.pick(w.r)
+	switch t {
+	case TxNewOrder:
+		w.seq++
+		p := w.db.drawNewOrder(w.r, w.homeW, uint64(w.thread)<<32|w.seq)
+		w.sys.Atomic(w.thread, tm.KindUpdate, func(ops tm.Ops) {
+			w.db.newOrder(ops, p)
+		})
+	case TxPayment:
+		p := w.db.drawPayment(w.r, w.homeW)
+		w.sys.Atomic(w.thread, tm.KindUpdate, func(ops tm.Ops) {
+			w.db.payment(ops, p)
+		})
+	case TxOrderStatus:
+		p := w.db.drawOrderStatus(w.r, w.homeW)
+		w.sys.Atomic(w.thread, tm.KindReadOnly, func(ops tm.Ops) {
+			w.db.orderStatus(ops, p)
+		})
+	case TxDelivery:
+		carrier := uint64(w.r.IntRange(1, 10))
+		w.seq++
+		for d := 0; d < DistrictsPerWarehouse; d++ {
+			p := deliveryParams{w: w.homeW, d: d, carrier: carrier, deliveryD: uint64(w.thread)<<32 | w.seq}
+			w.sys.Atomic(w.thread, tm.KindUpdate, func(ops tm.Ops) {
+				w.db.deliverDistrict(ops, p)
+			})
+		}
+	case TxStockLevel:
+		p := stockLevelParams{
+			w:         w.homeW,
+			d:         w.r.Intn(DistrictsPerWarehouse),
+			threshold: uint64(w.r.IntRange(10, 20)),
+		}
+		w.sys.Atomic(w.thread, tm.KindReadOnly, func(ops tm.Ops) {
+			w.db.stockLevel(ops, p, w.seen)
+		})
+	}
+	w.Executed[t]++
+	return t
+}
