@@ -1,13 +1,15 @@
 // Benchmarks regenerating the paper's evaluation under `go test -bench`:
 // one benchmark per figure (6–10) plus this reproduction's ablations.
-// Each figure benchmark runs every system of that figure at the paper's
-// workload parameters on the simulated 10-core SMT-8 POWER8, and reports
-// throughput (tx/s) together with the abort breakdown per operation —
-// the two panels of the paper's figures.
+// Figure benchmarks are thin views over the experiment registry
+// (internal/experiments): they drive the registry sweeps' own Setup —
+// the same workload construction cmd/repro and cmd/sihtm-bench measure —
+// through testing.B's op-count harness, and report throughput (tx/s)
+// together with the abort breakdown per operation, the two panels of the
+// paper's figures.
 //
-// The full thread ladder and long windows live in cmd/sihtm-bench; here
-// each figure is sampled at representative thread counts so the whole
-// suite stays runnable as a unit. See EXPERIMENTS.md for the mapping and
+// The full thread ladder and long windows live in cmd/repro; here each
+// figure is sampled at representative thread counts so the whole suite
+// stays runnable as a unit. See docs/experiments.md for the mapping and
 // for measured-vs-paper tables.
 package sihtm_test
 
@@ -15,13 +17,11 @@ import (
 	"fmt"
 	"testing"
 
+	"sihtm/internal/experiments"
 	"sihtm/internal/harness"
 	"sihtm/internal/htm"
-	"sihtm/internal/htmtm"
 	"sihtm/internal/memsim"
-	"sihtm/internal/p8tm"
 	"sihtm/internal/sihtm"
-	"sihtm/internal/silo"
 	"sihtm/internal/stats"
 	"sihtm/internal/tm"
 	"sihtm/internal/topology"
@@ -35,19 +35,11 @@ var benchThreads = []int{1, 8, 16}
 
 func newBenchSystem(b *testing.B, name string, m *htm.Machine, heap *memsim.Heap, threads int) tm.System {
 	b.Helper()
-	switch name {
-	case "htm":
-		return htmtm.NewSystem(m, threads, htmtm.Config{})
-	case "si-htm":
-		return sihtm.NewSystem(m, threads, sihtm.Config{})
-	case "p8tm":
-		return p8tm.NewSystem(m, threads, p8tm.Config{})
-	case "silo":
-		return silo.NewSystem(heap, threads)
-	default:
-		b.Fatalf("unknown system %q", name)
-		return nil
+	sys, err := experiments.NewSystem(name, m, heap, threads)
+	if err != nil {
+		b.Fatal(err)
 	}
+	return sys
 }
 
 // reportResult attaches the figure-panel metrics to the benchmark.
@@ -63,98 +55,80 @@ func reportResult(b *testing.B, r harness.Result) {
 	b.ReportMetric(float64(r.Stats.Fallbacks), "fallbacks")
 }
 
-// benchHashmap runs one hash-map figure configuration.
-func benchHashmap(b *testing.B, buckets, elems, roPercent int) {
-	for _, system := range []string{"htm", "si-htm"} {
+// benchFigure runs one registry figure panel through testing.B: for
+// every (system, sampled thread count) cell it builds the workload with
+// the registry sweep's own Setup and drives it with RunOps.
+func benchFigure(b *testing.B, id string, sc experiments.Scale) {
+	sweep, ok := experiments.SweepFor(id, sc)
+	if !ok {
+		b.Fatalf("registry entry %q is not sweep-backed", id)
+	}
+	for _, system := range sweep.Systems {
 		for _, threads := range benchThreads {
 			b.Run(fmt.Sprintf("%s/threads=%d", system, threads), func(b *testing.B) {
-				cfg := hashmap.BenchConfig{
-					Buckets:           buckets,
-					ElementsPerBucket: elems,
-					ReadOnlyPercent:   roPercent,
-					Seed:              7,
-				}
-				heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
-				m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
-				bench, err := hashmap.NewBenchmark(heap, cfg)
+				sys, mkWorker, check, err := sweep.Setup(system, threads)
 				if err != nil {
 					b.Fatal(err)
 				}
-				sys := newBenchSystem(b, system, m, heap, threads)
 				perThread := b.N/threads + 1
 				b.ResetTimer()
-				r := harness.RunOps(sys, threads, perThread, func(thread int) func() {
-					w := bench.NewWorker(sys, thread, uint64(13*threads+thread))
-					return w.Op
-				})
+				r := harness.RunOps(sys, threads, perThread, mkWorker)
 				b.StopTimer()
 				reportResult(b, r)
+				if check != nil {
+					if err := check(); err != nil {
+						b.Fatalf("post-run check: %v", err)
+					}
+				}
 			})
 		}
 	}
 }
 
-// benchTPCC runs one TPC-C figure configuration.
-func benchTPCC(b *testing.B, mix tpcc.Mix, lowContention bool) {
-	for _, system := range []string{"htm", "si-htm", "p8tm", "silo"} {
-		for _, threads := range benchThreads {
-			b.Run(fmt.Sprintf("%s/threads=%d", system, threads), func(b *testing.B) {
-				warehouses := 1
-				if lowContention {
-					warehouses = threads
-					if warehouses > 8 {
-						warehouses = 8
-					}
-				}
-				cfg := tpcc.Config{Warehouses: warehouses, ScaleDiv: 20, OrderRing: 512, Seed: 3}
-				heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
-				m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
-				db, err := tpcc.NewDB(heap, cfg)
-				if err != nil {
-					b.Fatal(err)
-				}
-				sys := newBenchSystem(b, system, m, heap, threads)
-				perThread := b.N/threads + 1
-				b.ResetTimer()
-				r := harness.RunOps(sys, threads, perThread, func(thread int) func() {
-					w, err := db.NewWorker(sys, thread, mix, uint64(29*threads+thread))
-					if err != nil {
-						panic(err)
-					}
-					return func() { w.Op() }
-				})
-				b.StopTimer()
-				reportResult(b, r)
-				if err := db.CheckConsistency(); err != nil {
-					b.Fatalf("post-run consistency: %v", err)
-				}
-			})
-		}
-	}
-}
+// Figure panels use the paper's workload sizes; the TPC-C panels shrink
+// population (WorkloadDiv 2 → ScaleDiv 20) so setup stays benchmark-
+// friendly, matching the registry's "quick"-style scaling.
+var (
+	benchHashmapScale = experiments.Scale{}
+	benchTPCCScale    = experiments.Scale{WorkloadDiv: 2}
+)
 
 // Figure 6: hash-map, large footprint, 90% read-only.
-func BenchmarkFig6HashmapLarge90ROLowContention(b *testing.B)  { benchHashmap(b, 1000, 200, 90) }
-func BenchmarkFig6HashmapLarge90ROHighContention(b *testing.B) { benchHashmap(b, 10, 200, 90) }
+func BenchmarkFig6HashmapLarge90ROLowContention(b *testing.B) {
+	benchFigure(b, "fig6-low", benchHashmapScale)
+}
+func BenchmarkFig6HashmapLarge90ROHighContention(b *testing.B) {
+	benchFigure(b, "fig6-high", benchHashmapScale)
+}
 
 // Figure 7: hash-map, large footprint, 50% read-only.
-func BenchmarkFig7HashmapLarge50ROLowContention(b *testing.B)  { benchHashmap(b, 1000, 200, 50) }
-func BenchmarkFig7HashmapLarge50ROHighContention(b *testing.B) { benchHashmap(b, 10, 200, 50) }
+func BenchmarkFig7HashmapLarge50ROLowContention(b *testing.B) {
+	benchFigure(b, "fig7-low", benchHashmapScale)
+}
+func BenchmarkFig7HashmapLarge50ROHighContention(b *testing.B) {
+	benchFigure(b, "fig7-high", benchHashmapScale)
+}
 
 // Figure 8: hash-map, small footprint, 90% read-only.
-func BenchmarkFig8HashmapSmall90ROLowContention(b *testing.B)  { benchHashmap(b, 1000, 50, 90) }
-func BenchmarkFig8HashmapSmall90ROHighContention(b *testing.B) { benchHashmap(b, 10, 50, 90) }
+func BenchmarkFig8HashmapSmall90ROLowContention(b *testing.B) {
+	benchFigure(b, "fig8-low", benchHashmapScale)
+}
+func BenchmarkFig8HashmapSmall90ROHighContention(b *testing.B) {
+	benchFigure(b, "fig8-high", benchHashmapScale)
+}
 
 // Figure 9: TPC-C standard mix.
-func BenchmarkFig9TPCCStandardLowContention(b *testing.B)  { benchTPCC(b, tpcc.StandardMix, true) }
-func BenchmarkFig9TPCCStandardHighContention(b *testing.B) { benchTPCC(b, tpcc.StandardMix, false) }
+func BenchmarkFig9TPCCStandardLowContention(b *testing.B) { benchFigure(b, "fig9-low", benchTPCCScale) }
+func BenchmarkFig9TPCCStandardHighContention(b *testing.B) {
+	benchFigure(b, "fig9-high", benchTPCCScale)
+}
 
 // Figure 10: TPC-C read-dominated mix.
 func BenchmarkFig10TPCCReadDominatedLowContention(b *testing.B) {
-	benchTPCC(b, tpcc.ReadDominatedMix, true)
+	benchFigure(b, "fig10-low", benchTPCCScale)
 }
 func BenchmarkFig10TPCCReadDominatedHighContention(b *testing.B) {
-	benchTPCC(b, tpcc.ReadDominatedMix, false)
+	benchFigure(b, "fig10-high", benchTPCCScale)
 }
 
 // Ablation A1: the capacity cliff — read footprint sweep at one thread.

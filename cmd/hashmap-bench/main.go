@@ -11,25 +11,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"sihtm/internal/experiments"
 	"sihtm/internal/harness"
 	"sihtm/internal/htm"
-	"sihtm/internal/htmtm"
 	"sihtm/internal/memsim"
-	"sihtm/internal/p8tm"
-	"sihtm/internal/sgl"
-	"sihtm/internal/sihtm"
-	"sihtm/internal/silo"
 	"sihtm/internal/stats"
-	"sihtm/internal/tm"
 	"sihtm/internal/topology"
 	"sihtm/internal/workload/hashmap"
 )
 
 func main() {
 	var (
-		system   = flag.String("system", "si-htm", "htm | si-htm | p8tm | silo | sgl")
+		system   = flag.String("system", "si-htm", strings.Join(experiments.SystemNames(), " | "))
 		threads  = flag.Int("threads", 8, "worker threads (placed on 10 cores × SMT-8)")
 		buckets  = flag.Int("buckets", 1000, "hash-map buckets (1000 = low contention, 10 = high)")
 		elements = flag.Int("elements", 200, "average chain length (200 = large footprint, 50 = short)")
@@ -59,20 +55,9 @@ func main() {
 		os.Exit(1)
 	}
 
-	var sys tm.System
-	switch *system {
-	case "htm":
-		sys = htmtm.NewSystem(m, *threads, htmtm.Config{})
-	case "si-htm":
-		sys = sihtm.NewSystem(m, *threads, sihtm.Config{})
-	case "p8tm":
-		sys = p8tm.NewSystem(m, *threads, p8tm.Config{})
-	case "silo":
-		sys = silo.NewSystem(heap, *threads)
-	case "sgl":
-		sys = sgl.NewSystem(m, *threads)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+	sys, err := experiments.NewSystem(*system, m, heap, *threads)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 

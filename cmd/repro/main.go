@@ -1,0 +1,330 @@
+// Command repro is the one-command reproduction pipeline: it enumerates
+// the experiment registry (the paper's Figures 6–10 plus this
+// reproduction's ablations), runs any subset of it across all systems —
+// independent (experiment × system) cells execute in parallel worker
+// shards — and emits machine-readable results (BENCH_repro.json) plus
+// markdown tables ready to embed in docs.
+//
+// Usage:
+//
+//	repro list                               # every registry entry, no runs
+//	repro run --all --scale=ci               # smoke-run everything
+//	repro run --figure=6 --scale=quick       # both panels of Figure 6
+//	repro run --id=fig9-low,capacity         # explicit entries
+//	repro run --all --baseline=old.json      # run + regression check
+//	repro compare --baseline=a.json --current=b.json
+//
+// Scales: ci (seconds, smoke), quick (minutes), paper (the full ladder
+// to 80 threads; hours). The simulator's absolute throughput depends on
+// the host — shape, not numbers, is the reproduction target (see
+// docs/experiments.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sihtm/internal/experiments"
+	"sihtm/internal/results"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "repro: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `repro — reproduction pipeline for the SI-HTM evaluation
+
+commands:
+  list                      enumerate the experiment registry
+  run                       run experiments, write JSON + markdown results
+  compare                   compare two result files for regressions
+
+run flags:
+  --all                     run every registry entry
+  --figure=N[,M]            run a figure's panels (6..10)
+  --id=a,b                  run specific entries (see 'repro list')
+  --systems=a,b             restrict to these systems (default: all of each entry)
+  --scale=ci|quick|paper    scale preset (default ci)
+  --shards=N                parallel (experiment × system) cells (default GOMAXPROCS)
+  --out=FILE                JSON results (default BENCH_repro.json)
+  --md=FILE                 markdown tables ('-' = stdout, '' = none; default BENCH_repro.md)
+  --baseline=FILE           compare against a previous JSON result file
+  --tolerance=F             regression tolerance as a fraction (default 0.5)
+  --min-commits=N           skip baseline cells with fewer commits (default 100)
+  --fail-on-regression      exit non-zero if the baseline comparison flags cells
+  --quiet                   suppress per-cell progress
+`)
+}
+
+func cmdList(args []string) error {
+	fs := flag.NewFlagSet("list", flag.ExitOnError)
+	figure := fs.Int("figure", 0, "only this figure's entries")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	entries := experiments.Registry()
+	fmt.Printf("%-11s %-6s %-9s %-28s %s\n", "ID", "FIGURE", "WORKLOAD", "SYSTEMS", "PARAMS")
+	for _, e := range entries {
+		if *figure != 0 && e.Figure != *figure {
+			continue
+		}
+		fig := "-"
+		if e.Figure > 0 {
+			fig = fmt.Sprintf("%d/%s", e.Figure, e.Panel)
+		}
+		fmt.Printf("%-11s %-6s %-9s %-28s %s\n", e.ID, fig, e.Workload, strings.Join(e.Systems, ","), e.Params)
+		if len(e.ThreadLadder) > 0 {
+			fmt.Printf("%-11s %-6s %-9s thread ladder %v\n", "", "", "", e.ThreadLadder)
+		}
+	}
+	fmt.Printf("\n%d entries; scales: %s\n", len(entries), strings.Join(experiments.ScaleNames(), ", "))
+	return nil
+}
+
+// cell is one independently runnable (experiment × system) unit.
+type cell struct {
+	entry  experiments.Entry
+	system string
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		all        = fs.Bool("all", false, "run every registry entry")
+		figure     = fs.String("figure", "", "comma-separated figures (6..10)")
+		ids        = fs.String("id", "", "comma-separated entry ids")
+		systems    = fs.String("systems", "", "restrict to these systems")
+		scaleName  = fs.String("scale", "ci", "scale preset: "+strings.Join(experiments.ScaleNames(), "|"))
+		shards     = fs.Int("shards", runtime.GOMAXPROCS(0), "parallel cells")
+		out        = fs.String("out", "BENCH_repro.json", "JSON output path")
+		md         = fs.String("md", "BENCH_repro.md", "markdown output path ('-' = stdout, '' = none)")
+		baseline   = fs.String("baseline", "", "baseline JSON to compare against")
+		tolerance  = fs.Float64("tolerance", 0.5, "regression tolerance fraction")
+		minCommits = fs.Uint64("min-commits", 100, "skip baseline cells with fewer commits (noise)")
+		failOnReg  = fs.Bool("fail-on-regression", false, "exit non-zero on flagged regressions")
+		quiet      = fs.Bool("quiet", false, "suppress per-cell progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sc, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+
+	var selectors []string
+	if *all {
+		selectors = append(selectors, "all")
+	}
+	if *figure != "" {
+		selectors = append(selectors, strings.Split(*figure, ",")...)
+	}
+	if *ids != "" {
+		selectors = append(selectors, strings.Split(*ids, ",")...)
+	}
+	if len(selectors) == 0 {
+		return fmt.Errorf("nothing selected: pass --all, --figure or --id (see 'repro list')")
+	}
+	entries, err := experiments.Select(strings.Join(selectors, ","))
+	if err != nil {
+		return fmt.Errorf("%w (see 'repro list')", err)
+	}
+
+	restrict := map[string]bool{}
+	for _, s := range strings.Split(*systems, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			restrict[s] = true
+		}
+	}
+
+	var cells []cell
+	for _, e := range entries {
+		for _, s := range e.Systems {
+			if len(restrict) > 0 && !restrict[s] {
+				continue
+			}
+			cells = append(cells, cell{entry: e, system: s})
+		}
+	}
+	if len(cells) == 0 {
+		return fmt.Errorf("selection yields no (experiment × system) cells")
+	}
+
+	rep, runErr := runCells(cells, sc, *scaleName, *shards, *quiet)
+	if runErr != nil && len(rep.Records) == 0 {
+		return runErr
+	}
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		partial := ""
+		if rep.Partial {
+			partial = ", PARTIAL"
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records%s)\n", *out, len(rep.Records), partial)
+	}
+	switch *md {
+	case "":
+	case "-":
+		results.MarkdownReport(os.Stdout, rep, experiments.Titles())
+	default:
+		f, err := os.Create(*md)
+		if err != nil {
+			return err
+		}
+		results.MarkdownReport(f, rep, experiments.Titles())
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *md)
+	}
+
+	if runErr != nil {
+		return fmt.Errorf("run aborted after %d record(s): %w", len(rep.Records), runErr)
+	}
+
+	if *baseline != "" {
+		base, err := results.ReadFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		c := results.Compare(base, rep, *tolerance, *minCommits)
+		c.WriteText(os.Stdout)
+		if *failOnReg && len(c.Regressions) > 0 {
+			return fmt.Errorf("%d throughput regression(s) beyond %.0f%% tolerance", len(c.Regressions), 100**tolerance)
+		}
+	}
+	return nil
+}
+
+// runCells executes the cells in a shard pool and assembles the report.
+// On a cell failure it stops dispatching further cells (in-flight cells
+// finish) and returns the records gathered so far in a report marked
+// Partial, together with the first error.
+func runCells(cells []cell, sc experiments.Scale, scaleName string, shards int, quiet bool) (*results.Report, error) {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(cells) {
+		shards = len(cells)
+	}
+
+	var (
+		mu      sync.Mutex
+		recs    []results.Record
+		firstEC error
+		done    int
+		failed  atomic.Bool
+	)
+	work := make(chan cell)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				rs, err := c.entry.RunCell(c.system, sc, nil)
+				mu.Lock()
+				if err != nil {
+					if firstEC == nil {
+						firstEC = err
+					}
+					failed.Store(true)
+				} else {
+					recs = append(recs, rs...)
+				}
+				done++
+				if !quiet {
+					status := "ok"
+					if err != nil {
+						status = "FAILED: " + err.Error()
+					}
+					fmt.Fprintf(os.Stderr, "[%3d/%3d] %-11s %-13s %s\n", done, len(cells), c.entry.ID, c.system, status)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, c := range cells {
+		if failed.Load() {
+			break
+		}
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+
+	rep := &results.Report{
+		Tool:       "cmd/repro",
+		Scale:      scaleName,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     shards,
+		Machine:    experiments.MachineDescription(),
+		Partial:    firstEC != nil,
+		Records:    recs,
+	}
+	rep.Sort()
+	return rep, firstEC
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	var (
+		baseline   = fs.String("baseline", "", "baseline JSON file")
+		current    = fs.String("current", "", "current JSON file")
+		tolerance  = fs.Float64("tolerance", 0.5, "regression tolerance fraction")
+		minCommits = fs.Uint64("min-commits", 100, "skip baseline cells with fewer commits (noise)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baseline == "" || *current == "" {
+		return fmt.Errorf("compare needs --baseline and --current")
+	}
+	base, err := results.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	cur, err := results.ReadFile(*current)
+	if err != nil {
+		return err
+	}
+	c := results.Compare(base, cur, *tolerance, *minCommits)
+	c.WriteText(os.Stdout)
+	if len(c.Regressions) > 0 {
+		return fmt.Errorf("%d throughput regression(s)", len(c.Regressions))
+	}
+	return nil
+}

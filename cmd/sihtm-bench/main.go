@@ -1,7 +1,10 @@
-// Command sihtm-bench regenerates the paper's evaluation: every figure
-// (6–10, low- and high-contention panels) and this reproduction's
-// ablations, printing the throughput and abort-breakdown tables that
-// correspond to the figures' two panels.
+// Command sihtm-bench is the interactive text view over the experiment
+// registry: it runs figures (6–10, low- and high-contention panels) and
+// ablations with classic per-point progress lines and prints the
+// throughput and abort-breakdown tables that correspond to the figures'
+// two panels. For machine-readable results, parallel execution and
+// baseline comparison, use cmd/repro — both commands are views over the
+// same registry and regenerate exactly the same runs.
 //
 // Usage:
 //
@@ -13,7 +16,7 @@
 //
 // The thread ladder, workloads and mixes are the paper's; -max-threads
 // and -workload-div shrink runs for quick machines (shape, not absolute
-// numbers, is the reproduction target — see EXPERIMENTS.md).
+// numbers, is the reproduction target — see docs/experiments.md).
 package main
 
 import (
@@ -22,16 +25,15 @@ import (
 	"io"
 	"os"
 	"runtime"
-	"sort"
-	"strings"
 	"time"
 
 	"sihtm/internal/experiments"
+	"sihtm/internal/results"
 )
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "list", "experiment id, figure id (fig6..fig10), 'all', or 'list'")
+		experiment  = flag.String("experiment", "list", "experiment id, figure id (fig6..fig10), 'all', 'figures', 'ablations', or 'list'")
 		maxThreads  = flag.Int("max-threads", 0, "cap the thread ladder (0 = paper's full ladder to 80)")
 		workloadDiv = flag.Int("workload-div", 1, "divide workload sizes by this factor for quick runs")
 		warmup      = flag.Duration("warmup", 150*time.Millisecond, "warm-up window per point")
@@ -47,20 +49,19 @@ func main() {
 		Warmup:      *warmup,
 		Measure:     *measure,
 	}
-	list, byID := experiments.All(sc)
 
 	if *experiment == "list" {
 		fmt.Println("experiments:")
-		for _, e := range list {
+		for _, e := range experiments.Registry() {
 			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
 		}
 		fmt.Println("\ngroups: fig6 fig7 fig8 fig9 fig10 figures ablations all")
 		return
 	}
 
-	ids, err := resolve(*experiment, list)
+	entries, err := experiments.Select(*experiment)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		fmt.Fprintf(os.Stderr, "%v (try -experiment list)\n", err)
 		os.Exit(2)
 	}
 
@@ -76,65 +77,63 @@ func main() {
 	}
 	report := io.MultiWriter(sinks...)
 
-	var progress io.Writer = os.Stderr
-	if *quiet {
-		progress = nil
-	}
-
-	fmt.Fprintf(report, "sihtm-bench: host GOMAXPROCS=%d; simulated machine: 10 cores × SMT-8, TMCAM 64 lines\n",
-		runtime.GOMAXPROCS(0))
+	fmt.Fprintf(report, "sihtm-bench: host GOMAXPROCS=%d; simulated machine: %s\n",
+		runtime.GOMAXPROCS(0), experiments.MachineDescription())
 	fmt.Fprintf(report, "windows: warmup=%v measure=%v; workload divisor %d\n\n", *warmup, *measure, *workloadDiv)
 
-	for _, id := range ids {
-		e := byID[id]
+	for _, e := range entries {
 		fmt.Fprintf(report, "=== %s: %s ===\n", e.ID, e.Title)
-		if progress != nil {
-			fmt.Fprintf(progress, "[%s]\n", e.ID)
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s]\n", e.ID)
 		}
-		text, err := e.Run(progress)
+		var hook func(results.Record)
+		if !*quiet {
+			hook = func(r results.Record) {
+				point := fmt.Sprintf("%3d threads", r.Threads)
+				if r.Param != "" {
+					point = fmt.Sprintf("%d threads, %s", r.Threads, r.Param)
+				}
+				fmt.Fprintf(os.Stderr, "  %-13s %-24s %12.0f tx/s  aborts %5.1f%%  fallbacks %d\n",
+					r.System, point, r.Throughput, 100*r.AbortRate, r.Fallbacks)
+			}
+		}
+		recs, err := e.Run(sc, hook)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		fmt.Fprintln(report, text)
+		rep := &results.Report{Records: recs}
+		rep.Sort()
+		fmt.Fprintln(report)
+		results.MarkdownThroughput(report, e.Title, rep.Records)
+		fmt.Fprintln(report)
+		results.MarkdownAborts(report, e.Title, rep.Records)
+		fmt.Fprintln(report)
+		// Peak-vs-peak speedups only make sense along a thread ladder;
+		// for parameter sweeps the "peak" would just be the cheapest
+		// swept value on both sides.
+		if len(e.ThreadLadder) > 0 {
+			fmt.Fprintln(report, results.SpeedupSummary(rep.Records, highlightSystem(e)))
+			fmt.Fprintln(report)
+		}
 	}
 }
 
-// resolve expands an experiment selector to experiment ids.
-func resolve(sel string, list []experiments.Experiment) ([]string, error) {
-	var all, figures, ablations []string
-	for _, e := range list {
-		all = append(all, e.ID)
-		if strings.HasPrefix(e.ID, "fig") {
-			figures = append(figures, e.ID)
-		} else {
-			ablations = append(ablations, e.ID)
+// highlightSystem picks the system the speedup summary quotes: the
+// policy under test in variant ablations, else the paper's
+// contribution, else the entry's last system.
+func highlightSystem(e experiments.Entry) string {
+	highlight := ""
+	for _, s := range e.Systems {
+		switch {
+		case s == "si-htm-killer":
+			return s
+		case s == "si-htm":
+			highlight = s
 		}
 	}
-	switch sel {
-	case "all":
-		return all, nil
-	case "figures":
-		return figures, nil
-	case "ablations":
-		return ablations, nil
+	if highlight == "" {
+		highlight = e.Systems[len(e.Systems)-1]
 	}
-	// Exact id.
-	for _, id := range all {
-		if id == sel {
-			return []string{id}, nil
-		}
-	}
-	// Figure group: "fig6" → fig6-low, fig6-high.
-	var group []string
-	for _, id := range all {
-		if strings.HasPrefix(id, sel+"-") {
-			group = append(group, id)
-		}
-	}
-	if len(group) > 0 {
-		sort.Strings(group)
-		return group, nil
-	}
-	return nil, fmt.Errorf("unknown experiment %q (try -experiment list)", sel)
+	return highlight
 }

@@ -1,0 +1,3 @@
+module sihtm
+
+go 1.24

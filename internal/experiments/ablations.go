@@ -2,261 +2,229 @@ package experiments
 
 import (
 	"fmt"
-	"io"
-	"strings"
 
 	"sihtm/internal/harness"
 	"sihtm/internal/htm"
 	"sihtm/internal/memsim"
-	"sihtm/internal/stats"
+	"sihtm/internal/results"
 	"sihtm/internal/tm"
 	"sihtm/internal/topology"
 	"sihtm/internal/workload/hashmap"
 	"sihtm/internal/workload/tpcc"
 )
 
-// Experiment is a runnable unit: a figure reproduction or an ablation.
-type Experiment struct {
-	ID, Title string
-	// Run executes the experiment, streaming progress, and returns the
-	// final report text.
-	Run func(progress io.Writer) (string, error)
+// The ablations are this reproduction's additions to the paper's
+// figures: parameter sweeps that isolate individual mechanisms (the
+// capacity cliff, TMCAM sizing, the read-only fast path, the §6 killing
+// policy, SMT placement). Sweep-shaped ablations (rofast, killer) reuse
+// the figure machinery; the rest emit one record per swept parameter
+// value with the Param field carrying the x-axis.
+
+// sweepAblations maps the sweep-backed ablation ids to their sweep
+// builders — the single place that records which ablations SweepFor can
+// serve. Keep in lockstep with the sweepAblationEntry wiring below.
+var sweepAblations = map[string]func(Scale) *harness.Sweep{
+	"rofast": roFastPathSweep,
+	"killer": killerSweep,
 }
 
-// sweepExperiment wraps a harness.Sweep into an Experiment whose report
-// contains the figure's two panels plus the peak-speedup summary line.
-func sweepExperiment(s *harness.Sweep, highlight string) Experiment {
-	return Experiment{
-		ID:    s.ID,
-		Title: s.Title,
-		Run: func(progress io.Writer) (string, error) {
-			results, err := s.Execute(progress)
-			if err != nil {
-				return "", err
-			}
-			var b strings.Builder
-			harness.FormatThroughputTable(&b, s.Title, results)
-			b.WriteString("\n")
-			harness.FormatAbortTable(&b, s.Title, results)
-			b.WriteString("\n")
-			b.WriteString(harness.SpeedupSummary(results, highlight))
-			b.WriteString("\n\ncsv:\n")
-			harness.FormatCSV(&b, results)
-			return b.String(), nil
-		},
-	}
-}
+// capacityFootprints is the read-footprint x-axis of ablation A1,
+// straddling the 64-line TMCAM.
+var capacityFootprints = []int{8, 16, 32, 48, 60, 64, 72, 96, 128, 256}
 
-// CapacityCliff is ablation A1: single-threaded transactions with a
+// capacityEntry is ablation A1: single-threaded transactions with a
 // growing read footprint and a single-line write set, contrasting plain
 // HTM (reads consume the 64-line TMCAM → abort cliff) with SI-HTM
-// (write-set-bounded → flat). This isolates the paper's §2.2/§3 capacity
-// claim from all concurrency effects.
-func CapacityCliff(sc Scale) Experiment {
-	sc = sc.withDefaults()
-	footprints := []int{8, 16, 32, 48, 60, 64, 72, 96, 128, 256}
-	systems := []string{"htm", "si-htm"}
-	return Experiment{
-		ID:    "capacity",
-		Title: "Ablation A1: read-footprint sweep (single thread, TMCAM = 64 lines)",
-		Run: func(progress io.Writer) (string, error) {
-			var b strings.Builder
-			fmt.Fprintf(&b, "Ablation A1 — abort/fall-back behaviour vs read footprint (lines)\n")
-			fmt.Fprintf(&b, "%10s %10s %14s %14s %12s\n", "system", "footprint", "tx/s", "capacity-ab/op", "fallback/op")
-			for _, fp := range footprints {
-				for _, name := range systems {
-					heap, m := machine(fp*4 + 1<<12)
-					lines := make([]memsim.Addr, fp)
-					for i := range lines {
-						lines[i] = heap.AllocLine()
-					}
-					out := heap.AllocLine()
-					sys, err := newSystem(name, m, heap, 1)
-					if err != nil {
-						return "", err
-					}
-					mkWorker := func(int) func() {
-						return func() {
-							sys.Atomic(0, tm.KindUpdate, func(ops tm.Ops) {
-								var sum uint64
-								for _, a := range lines {
-									sum += ops.Read(a)
-								}
-								ops.Write(out, sum)
-							})
+// (write-set-bounded → flat). This isolates the paper's §2.2/§3
+// capacity claim from all concurrency effects.
+func capacityEntry() Entry {
+	e := Entry{
+		ID:       "capacity",
+		Title:    "Ablation A1: read-footprint sweep (single thread, TMCAM = 64 lines)",
+		Workload: "synthetic",
+		Systems:  []string{"htm", "si-htm"},
+		Params:   fmt.Sprintf("footprint=%v writes=1", capacityFootprints),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		for _, fp := range capacityFootprints {
+			heap, m := machine(fp*4 + 1<<12)
+			lines := make([]memsim.Addr, fp)
+			for i := range lines {
+				lines[i] = heap.AllocLine()
+			}
+			out := heap.AllocLine()
+			sys, err := NewSystem(system, m, heap, 1)
+			if err != nil {
+				return err
+			}
+			mkWorker := func(int) func() {
+				return func() {
+					sys.Atomic(0, tm.KindUpdate, func(ops tm.Ops) {
+						var sum uint64
+						for _, a := range lines {
+							sum += ops.Read(a)
 						}
-					}
-					r := harness.Run(sys, 1, sc.Warmup/4, sc.Measure/2, mkWorker)
-					ops := float64(r.Stats.Commits)
-					if ops == 0 {
-						ops = 1
-					}
-					fmt.Fprintf(&b, "%10s %10d %14.0f %14.2f %12.2f\n",
-						name, fp, r.Throughput,
-						float64(r.Stats.Aborts[stats.AbortCapacity])/ops,
-						float64(r.Stats.Fallbacks)/ops)
-					if progress != nil {
-						fmt.Fprintf(progress, "  capacity: %s fp=%d done\n", name, fp)
-					}
+						ops.Write(out, sum)
+					})
 				}
 			}
-			return b.String(), nil
-		},
+			hr := harness.Run(sys, 1, sc.Warmup/4, sc.Measure/2, mkWorker)
+			hook(e.record(fmt.Sprintf("footprint=%d", fp), hr))
+		}
+		return nil
 	}
+	return e
 }
 
-// TMCAMSize is ablation A2: the hash-map 90%-RO large workload at a fixed
-// thread count under varying TMCAM sizes, showing the sensitivity of both
-// systems to the hardware buffer.
-func TMCAMSize(sc Scale) Experiment {
-	sc = sc.withDefaults()
-	sizes := []int{16, 32, 64, 128, 256}
-	systems := []string{"htm", "si-htm"}
+// tmcamSizes is the TMCAM x-axis of ablation A2.
+var tmcamSizes = []int{16, 32, 64, 128, 256}
+
+// tmcamEntry is ablation A2: the hash-map 90%-RO large workload at a
+// fixed thread count under varying TMCAM sizes, showing the sensitivity
+// of both systems to the hardware buffer.
+func tmcamEntry() Entry {
 	const threads = 8
-	return Experiment{
-		ID:    "tmcam",
-		Title: "Ablation A2: TMCAM size sweep (hash-map large 90% RO, 8 threads)",
-		Run: func(progress io.Writer) (string, error) {
-			var b strings.Builder
-			fmt.Fprintf(&b, "Ablation A2 — throughput vs TMCAM lines (8 threads)\n")
-			fmt.Fprintf(&b, "%10s %8s %14s %16s\n", "system", "tmcam", "tx/s", "capacity-aborts%")
-			cfg := hashmap.BenchConfig{
-				Buckets:           lowBuckets,
-				ElementsPerBucket: largeChain / sc.WorkloadDiv,
-				ReadOnlyPercent:   roHeavy,
-				Seed:              5,
-			}
-			if cfg.ElementsPerBucket < 2 {
-				cfg.ElementsPerBucket = 2
-			}
-			for _, size := range sizes {
-				for _, name := range systems {
-					heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
-					m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper(), TMCAMLines: size})
-					bench, err := hashmap.NewBenchmark(heap, cfg)
-					if err != nil {
-						return "", err
-					}
-					sys, err := newSystem(name, m, heap, threads)
-					if err != nil {
-						return "", err
-					}
-					mkWorker := func(thread int) func() {
-						w := bench.NewWorker(sys, thread, uint64(77+thread))
-						return w.Op
-					}
-					r := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
-					fmt.Fprintf(&b, "%10s %8d %14.0f %15.1f%%\n",
-						name, size, r.Throughput, r.AbortPercent(stats.AbortCapacity))
-					if progress != nil {
-						fmt.Fprintf(progress, "  tmcam: %s size=%d done\n", name, size)
-					}
-				}
-			}
-			return b.String(), nil
-		},
+	e := Entry{
+		ID:       "tmcam",
+		Title:    "Ablation A2: TMCAM size sweep (hash-map large 90% RO, 8 threads)",
+		Workload: "hashmap",
+		Systems:  []string{"htm", "si-htm"},
+		Params:   fmt.Sprintf("tmcam=%v threads=%d buckets=%d chain=%d ro=%d%%", tmcamSizes, threads, lowBuckets, largeChain, roHeavy),
 	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		cfg := hashmap.BenchConfig{
+			Buckets:           lowBuckets,
+			ElementsPerBucket: largeChain / sc.WorkloadDiv,
+			ReadOnlyPercent:   roHeavy,
+			Seed:              5,
+		}
+		if cfg.ElementsPerBucket < 2 {
+			cfg.ElementsPerBucket = 2
+		}
+		for _, size := range tmcamSizes {
+			heap := memsim.NewHeapLines(cfg.HeapLinesNeeded() + (1 << 14))
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper(), TMCAMLines: size})
+			bench, err := hashmap.NewBenchmark(heap, cfg)
+			if err != nil {
+				return err
+			}
+			sys, err := NewSystem(system, m, heap, threads)
+			if err != nil {
+				return err
+			}
+			mkWorker := func(thread int) func() {
+				w := bench.NewWorker(sys, thread, uint64(77+thread))
+				return w.Op
+			}
+			hr := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
+			hook(e.record(fmt.Sprintf("tmcam=%d", size), hr))
+		}
+		return nil
+	}
+	return e
 }
 
-// ROFastPath is ablation A3: SI-HTM with and without the read-only fast
-// path on the read-heavy hash-map, isolating the quiescence the fast path
-// saves.
-func ROFastPath(sc Scale) Experiment {
-	sc = sc.withDefaults()
-	s := HashmapSweep("rofast",
+// roFastPathSweep is ablation A3 as a sweep: SI-HTM with and without the
+// read-only fast path on the read-heavy hash-map, isolating the
+// quiescence the fast path saves.
+func roFastPathSweep(sc Scale) *harness.Sweep {
+	return HashmapSweep("rofast",
 		"Ablation A3: SI-HTM read-only fast path on vs off (hash-map large 90% RO, low contention)",
 		lowBuckets, largeChain, roHeavy,
 		[]string{"si-htm", "si-htm-noro"}, sc)
-	return sweepExperiment(s, "si-htm")
 }
 
-// KillerPolicy is ablation A4a: the §6 killing policy on the
-// high-contention 50% update hash-map, where laggards prolong quiescence.
-func KillerPolicy(sc Scale) Experiment {
-	sc = sc.withDefaults()
-	s := HashmapSweep("killer",
+func roFastPathEntry() Entry {
+	return sweepAblationEntry(Entry{
+		ID:           "rofast",
+		Title:        "Ablation A3: SI-HTM read-only fast path on vs off (hash-map large 90% RO, low contention)",
+		Workload:     "hashmap",
+		Systems:      []string{"si-htm", "si-htm-noro"},
+		ThreadLadder: topology.PaperThreadLadder,
+		Params:       fmt.Sprintf("buckets=%d chain=%d ro=%d%%", lowBuckets, largeChain, roHeavy),
+	}, roFastPathSweep)
+}
+
+// killerSweep is ablation A4a as a sweep: the §6 killing policy on the
+// high-contention 50% update hash-map, where laggards prolong
+// quiescence.
+func killerSweep(sc Scale) *harness.Sweep {
+	return HashmapSweep("killer",
 		"Ablation A4a: §6 killing policy (hash-map large 50% RO, high contention)",
 		highBuckets, largeChain, roBalanced,
 		[]string{"si-htm", "si-htm-killer"}, sc)
-	return sweepExperiment(s, "si-htm-killer")
 }
 
-// SMTPlacement is ablation A5: a fixed 8-thread TPC-C run placed either
-// one thread per core (SMT-1) or stacked on a single core (SMT-8),
-// measuring the cost of TMCAM sharing directly.
-func SMTPlacement(sc Scale) Experiment {
-	sc = sc.withDefaults()
-	systems := []string{"htm", "si-htm"}
+func killerEntry() Entry {
+	return sweepAblationEntry(Entry{
+		ID:           "killer",
+		Title:        "Ablation A4a: §6 killing policy (hash-map large 50% RO, high contention)",
+		Workload:     "hashmap",
+		Systems:      []string{"si-htm", "si-htm-killer"},
+		ThreadLadder: topology.PaperThreadLadder,
+		Params:       fmt.Sprintf("buckets=%d chain=%d ro=%d%%", highBuckets, largeChain, roBalanced),
+	}, killerSweep)
+}
+
+// sweepAblationEntry wires a sweep-backed ablation's run closure.
+func sweepAblationEntry(e Entry, build func(sc Scale) *harness.Sweep) Entry {
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		_, err := build(sc).ExecuteSystem(system, func(_ string, hr harness.Result) {
+			hook(e.record("", hr))
+		})
+		return err
+	}
+	return e
+}
+
+// smtEntry is ablation A5: a fixed 8-thread TPC-C run placed either one
+// thread per core (SMT-1) or stacked on a single core (SMT-8), measuring
+// the cost of TMCAM sharing directly.
+func smtEntry() Entry {
 	const threads = 8
-	return Experiment{
-		ID:    "smt",
-		Title: "Ablation A5: SMT placement (TPC-C standard mix, 8 threads, spread vs stacked)",
-		Run: func(progress io.Writer) (string, error) {
-			var b strings.Builder
-			fmt.Fprintf(&b, "Ablation A5 — 8 threads spread (8 cores) vs stacked (1 core × SMT-8)\n")
-			fmt.Fprintf(&b, "%10s %10s %14s %16s\n", "system", "placement", "tx/s", "capacity-aborts%")
-			for _, stacked := range []bool{false, true} {
-				topo := topology.New(8, 8)
-				if stacked {
-					topo = topology.New(1, 8)
-				}
-				for _, name := range systems {
-					cfg := tpcc.Config{Warehouses: 8, ScaleDiv: 10 * sc.WorkloadDiv, Seed: 9}
-					heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
-					m := htm.NewMachine(heap, htm.Config{Topology: topo})
-					db, err := tpcc.NewDB(heap, cfg)
-					if err != nil {
-						return "", err
-					}
-					sys, err := newSystem(name, m, heap, threads)
-					if err != nil {
-						return "", err
-					}
-					mkWorker := func(thread int) func() {
-						w, err := db.NewWorker(sys, thread, tpcc.StandardMix, uint64(55+thread))
-						if err != nil {
-							panic(err)
-						}
-						return func() { w.Op() }
-					}
-					r := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
-					placement := "spread"
-					if stacked {
-						placement = "stacked"
-					}
-					fmt.Fprintf(&b, "%10s %10s %14.0f %15.1f%%\n",
-						name, placement, r.Throughput, r.AbortPercent(stats.AbortCapacity))
-					if err := db.CheckConsistency(); err != nil {
-						return "", fmt.Errorf("smt %s/%s: %w", name, placement, err)
-					}
-					if progress != nil {
-						fmt.Fprintf(progress, "  smt: %s %s done\n", name, placement)
-					}
-				}
+	e := Entry{
+		ID:       "smt",
+		Title:    "Ablation A5: SMT placement (TPC-C standard mix, 8 threads, spread vs stacked)",
+		Workload: "tpcc",
+		Systems:  []string{"htm", "si-htm"},
+		Params:   "placement={spread,stacked} warehouses=8 mix=standard",
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		for _, stacked := range []bool{false, true} {
+			topo := topology.New(8, 8)
+			placement := "spread"
+			if stacked {
+				topo = topology.New(1, 8)
+				placement = "stacked"
 			}
-			return b.String(), nil
-		},
+			cfg := tpcc.Config{Warehouses: 8, ScaleDiv: 10 * sc.WorkloadDiv, Seed: 9}
+			heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+			m := htm.NewMachine(heap, htm.Config{Topology: topo})
+			db, err := tpcc.NewDB(heap, cfg)
+			if err != nil {
+				return err
+			}
+			sys, err := NewSystem(system, m, heap, threads)
+			if err != nil {
+				return err
+			}
+			mkWorker := func(thread int) func() {
+				w, err := db.NewWorker(sys, thread, tpcc.StandardMix, uint64(55+thread))
+				if err != nil {
+					panic(err)
+				}
+				return func() { w.Op() }
+			}
+			hr := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
+			if err := db.CheckConsistency(); err != nil {
+				return fmt.Errorf("smt %s/%s: %w", system, placement, err)
+			}
+			hook(e.record(fmt.Sprintf("placement=%s", placement), hr))
+		}
+		return nil
 	}
-}
-
-// All returns every experiment (figures first, then ablations), keyed and
-// ordered.
-func All(sc Scale) ([]Experiment, map[string]Experiment) {
-	var list []Experiment
-	figs := Figures(sc)
-	for _, id := range FigureOrder {
-		list = append(list, sweepExperiment(figs[id], "si-htm"))
-	}
-	list = append(list,
-		CapacityCliff(sc),
-		TMCAMSize(sc),
-		ROFastPath(sc),
-		KillerPolicy(sc),
-		SMTPlacement(sc),
-	)
-	byID := make(map[string]Experiment, len(list))
-	for _, e := range list {
-		byID[e.ID] = e
-	}
-	return list, byID
+	return e
 }

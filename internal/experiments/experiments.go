@@ -1,7 +1,12 @@
-// Package experiments defines, as data, every experiment of the paper's
-// evaluation (§4, Figures 6–10) plus this reproduction's ablations, so
-// that the benchmark binary (cmd/sihtm-bench) and the testing.B harness
-// (bench_test.go) regenerate exactly the same runs.
+// Package experiments is the declarative registry of the paper's
+// evaluation (§4, Figures 6–10) plus this reproduction's ablations.
+// Every run the repository can perform is one registry Entry — metadata
+// (figure, workload, systems, thread ladder, parameters) enumerable
+// without running anything, plus a cell runner that measures one
+// (entry × system) column and emits typed results.Record values. The
+// repro CLI (cmd/repro), the classic benchmark binary (cmd/sihtm-bench)
+// and the testing.B harness (bench_test.go) are all thin views over
+// this one registry, so they regenerate exactly the same runs.
 package experiments
 
 import (
@@ -13,6 +18,7 @@ import (
 	"sihtm/internal/htmtm"
 	"sihtm/internal/memsim"
 	"sihtm/internal/p8tm"
+	"sihtm/internal/results"
 	"sihtm/internal/sgl"
 	"sihtm/internal/sihtm"
 	"sihtm/internal/silo"
@@ -22,9 +28,10 @@ import (
 	"sihtm/internal/workload/tpcc"
 )
 
-// Scale shrinks an experiment for quick runs: 1 = the paper's shape
-// (10-core ladder to 80 threads, full workload sizes); larger values
-// shrink workload sizes and the thread ladder for CI-friendly runs.
+// Scale shrinks an experiment for quick runs: the zero value is the
+// paper's shape (10-core ladder to 80 threads, full workload sizes);
+// larger values shrink workload sizes and the thread ladder for
+// CI-friendly runs. Named presets live in ScaleByName.
 type Scale struct {
 	// MaxThreads caps the thread ladder (0 = no cap).
 	MaxThreads int
@@ -71,8 +78,10 @@ func machine(heapLines int) (*memsim.Heap, *htm.Machine) {
 	return heap, m
 }
 
-// newSystem builds a named system over the given machine/heap.
-func newSystem(name string, m *htm.Machine, heap *memsim.Heap, threads int) (tm.System, error) {
+// NewSystem builds a named system over the given machine/heap — the one
+// benchmark-name → constructor mapping shared by every binary and test
+// in the repository.
+func NewSystem(name string, m *htm.Machine, heap *memsim.Heap, threads int) (tm.System, error) {
 	switch name {
 	case "htm":
 		return htmtm.NewSystem(m, threads, htmtm.Config{}), nil
@@ -91,6 +100,11 @@ func newSystem(name string, m *htm.Machine, heap *memsim.Heap, threads int) (tm.
 	default:
 		return nil, fmt.Errorf("experiments: unknown system %q", name)
 	}
+}
+
+// SystemNames lists the benchmark names NewSystem accepts.
+func SystemNames() []string {
+	return []string{"htm", "si-htm", "si-htm-noro", "si-htm-killer", "p8tm", "silo", "sgl"}
 }
 
 // HashmapSweep builds the sweep for one hash-map figure panel.
@@ -124,7 +138,7 @@ func HashmapSweep(id, title string, buckets, elemsPerBucket, roPercent int, syst
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			sys, err := newSystem(system, m, heap, threads)
+			sys, err := NewSystem(system, m, heap, threads)
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -181,7 +195,7 @@ func TPCCSweep(id, title string, mix tpcc.Mix, lowContention bool, systems []str
 			if err != nil {
 				return nil, nil, nil, err
 			}
-			sys, err := newSystem(system, m, heap, threads)
+			sys, err := NewSystem(system, m, heap, threads)
 			if err != nil {
 				return nil, nil, nil, err
 			}
@@ -213,48 +227,146 @@ var htmVsSIHTM = []string{"htm", "si-htm"}
 // tpccSystems are the systems in the TPC-C figures (paper order).
 var tpccSystems = []string{"htm", "si-htm", "p8tm", "silo"}
 
-// Figures returns the sweeps reproducing the paper's Figures 6–10, two
-// panels (low/high contention) each.
-func Figures(sc Scale) map[string]*harness.Sweep {
-	return map[string]*harness.Sweep{
-		"fig6-low": HashmapSweep("fig6-low",
-			"Figure 6 (left): hash-map, 90% large read-only txs, low contention",
-			lowBuckets, largeChain, roHeavy, htmVsSIHTM, sc),
-		"fig6-high": HashmapSweep("fig6-high",
-			"Figure 6 (right): hash-map, 90% large read-only txs, high contention",
-			highBuckets, largeChain, roHeavy, htmVsSIHTM, sc),
-		"fig7-low": HashmapSweep("fig7-low",
-			"Figure 7 (left): hash-map, 50% large read-only txs, low contention",
-			lowBuckets, largeChain, roBalanced, htmVsSIHTM, sc),
-		"fig7-high": HashmapSweep("fig7-high",
-			"Figure 7 (right): hash-map, 50% large read-only txs, high contention",
-			highBuckets, largeChain, roBalanced, htmVsSIHTM, sc),
-		"fig8-low": HashmapSweep("fig8-low",
-			"Figure 8 (left): hash-map, 90% small txs, low contention",
-			lowBuckets, shortChain, roHeavy, htmVsSIHTM, sc),
-		"fig8-high": HashmapSweep("fig8-high",
-			"Figure 8 (right): hash-map, 90% small txs, high contention",
-			highBuckets, shortChain, roHeavy, htmVsSIHTM, sc),
-		"fig9-low": TPCCSweep("fig9-low",
-			"Figure 9 (left): TPC-C standard mix, low contention",
-			tpcc.StandardMix, true, tpccSystems, sc),
-		"fig9-high": TPCCSweep("fig9-high",
-			"Figure 9 (right): TPC-C standard mix, high contention",
-			tpcc.StandardMix, false, tpccSystems, sc),
-		"fig10-low": TPCCSweep("fig10-low",
-			"Figure 10 (left): TPC-C read-dominated mix, low contention",
-			tpcc.ReadDominatedMix, true, tpccSystems, sc),
-		"fig10-high": TPCCSweep("fig10-high",
-			"Figure 10 (right): TPC-C read-dominated mix, high contention",
-			tpcc.ReadDominatedMix, false, tpccSystems, sc),
+// figureSpec declares one figure panel: everything the registry needs to
+// describe it and to build its sweep at any scale.
+type figureSpec struct {
+	id     string
+	figure int
+	panel  string
+	title  string
+
+	// hash-map panels (workload "hashmap"):
+	buckets, chain, roPct int
+	// TPC-C panels (workload "tpcc"):
+	mix           tpcc.Mix
+	lowContention bool
+	isTPCC        bool
+}
+
+func (f figureSpec) workload() string {
+	if f.isTPCC {
+		return "tpcc"
 	}
+	return "hashmap"
+}
+
+func (f figureSpec) systems() []string {
+	if f.isTPCC {
+		return tpccSystems
+	}
+	return htmVsSIHTM
+}
+
+func (f figureSpec) params() string {
+	if f.isTPCC {
+		contention := "high (1 warehouse)"
+		if f.lowContention {
+			contention = "low (warehouse/thread)"
+		}
+		mixName := "standard"
+		if f.mix == tpcc.ReadDominatedMix {
+			mixName = "read-dominated"
+		}
+		return fmt.Sprintf("mix=%s contention=%s", mixName, contention)
+	}
+	return fmt.Sprintf("buckets=%d chain=%d ro=%d%%", f.buckets, f.chain, f.roPct)
+}
+
+func (f figureSpec) sweep(sc Scale) *harness.Sweep {
+	if f.isTPCC {
+		return TPCCSweep(f.id, f.title, f.mix, f.lowContention, f.systems(), sc)
+	}
+	return HashmapSweep(f.id, f.title, f.buckets, f.chain, f.roPct, f.systems(), sc)
+}
+
+// figureSpecs is the declarative table behind Figures 6–10 (two
+// contention panels each).
+var figureSpecs = []figureSpec{
+	{id: "fig6-low", figure: 6, panel: "low",
+		title:   "Figure 6 (left): hash-map, 90% large read-only txs, low contention",
+		buckets: lowBuckets, chain: largeChain, roPct: roHeavy},
+	{id: "fig6-high", figure: 6, panel: "high",
+		title:   "Figure 6 (right): hash-map, 90% large read-only txs, high contention",
+		buckets: highBuckets, chain: largeChain, roPct: roHeavy},
+	{id: "fig7-low", figure: 7, panel: "low",
+		title:   "Figure 7 (left): hash-map, 50% large read-only txs, low contention",
+		buckets: lowBuckets, chain: largeChain, roPct: roBalanced},
+	{id: "fig7-high", figure: 7, panel: "high",
+		title:   "Figure 7 (right): hash-map, 50% large read-only txs, high contention",
+		buckets: highBuckets, chain: largeChain, roPct: roBalanced},
+	{id: "fig8-low", figure: 8, panel: "low",
+		title:   "Figure 8 (left): hash-map, 90% small txs, low contention",
+		buckets: lowBuckets, chain: shortChain, roPct: roHeavy},
+	{id: "fig8-high", figure: 8, panel: "high",
+		title:   "Figure 8 (right): hash-map, 90% small txs, high contention",
+		buckets: highBuckets, chain: shortChain, roPct: roHeavy},
+	{id: "fig9-low", figure: 9, panel: "low",
+		title:  "Figure 9 (left): TPC-C standard mix, low contention",
+		isTPCC: true, mix: tpcc.StandardMix, lowContention: true},
+	{id: "fig9-high", figure: 9, panel: "high",
+		title:  "Figure 9 (right): TPC-C standard mix, high contention",
+		isTPCC: true, mix: tpcc.StandardMix},
+	{id: "fig10-low", figure: 10, panel: "low",
+		title:  "Figure 10 (left): TPC-C read-dominated mix, low contention",
+		isTPCC: true, mix: tpcc.ReadDominatedMix, lowContention: true},
+	{id: "fig10-high", figure: 10, panel: "high",
+		title:  "Figure 10 (right): TPC-C read-dominated mix, high contention",
+		isTPCC: true, mix: tpcc.ReadDominatedMix},
 }
 
 // FigureOrder lists figure ids in presentation order.
-var FigureOrder = []string{
-	"fig6-low", "fig6-high",
-	"fig7-low", "fig7-high",
-	"fig8-low", "fig8-high",
-	"fig9-low", "fig9-high",
-	"fig10-low", "fig10-high",
+var FigureOrder = func() []string {
+	ids := make([]string, len(figureSpecs))
+	for i, f := range figureSpecs {
+		ids[i] = f.id
+	}
+	return ids
+}()
+
+// figureEntry builds the registry entry for one figure panel.
+func figureEntry(id string) Entry {
+	var spec figureSpec
+	for _, f := range figureSpecs {
+		if f.id == id {
+			spec = f
+			break
+		}
+	}
+	if spec.id == "" {
+		panic("experiments: unknown figure id " + id)
+	}
+	e := Entry{
+		ID:           spec.id,
+		Figure:       spec.figure,
+		Panel:        spec.panel,
+		Title:        spec.title,
+		Workload:     spec.workload(),
+		Systems:      spec.systems(),
+		ThreadLadder: topology.PaperThreadLadder,
+		Params:       spec.params(),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		_, err := spec.sweep(sc).ExecuteSystem(system, func(_ string, hr harness.Result) {
+			hook(e.record("", hr))
+		})
+		return err
+	}
+	return e
+}
+
+// SweepFor returns the harness sweep behind a sweep-backed registry
+// entry (the figure panels and the sweep-shaped ablations) at the given
+// scale — the hook bench_test.go uses to drive the same Setup through
+// testing.B's op-count harness. Returns false for entries that are not
+// sweeps (capacity, tmcam, smt).
+func SweepFor(id string, sc Scale) (*harness.Sweep, bool) {
+	for _, f := range figureSpecs {
+		if f.id == id {
+			return f.sweep(sc), true
+		}
+	}
+	if build, ok := sweepAblations[id]; ok {
+		return build(sc), true
+	}
+	return nil, false
 }

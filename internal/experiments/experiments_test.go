@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sihtm/internal/results"
 )
 
 func quickScale() Scale {
@@ -15,37 +17,113 @@ func quickScale() Scale {
 	}
 }
 
-func TestFigureRegistryIsComplete(t *testing.T) {
-	figs := Figures(quickScale())
-	if len(FigureOrder) != 10 {
-		t.Fatalf("FigureOrder has %d entries, want 10 (Figures 6-10 × 2 panels)", len(FigureOrder))
+func TestRegistryIsComplete(t *testing.T) {
+	entries := Registry()
+	if len(entries) != 15 { // 10 figure panels + 5 ablations
+		t.Fatalf("Registry() = %d entries, want 15", len(entries))
+	}
+	seen := map[string]bool{}
+	figures := map[int]bool{}
+	for _, e := range entries {
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.ID == "" || e.Title == "" || e.Workload == "" {
+			t.Errorf("entry %+v missing metadata", e)
+		}
+		if len(e.Systems) < 2 {
+			t.Errorf("entry %q compares %d systems, want >= 2", e.ID, len(e.Systems))
+		}
+		if e.run == nil {
+			t.Errorf("entry %q has no runner", e.ID)
+		}
+		if e.Figure > 0 {
+			figures[e.Figure] = true
+			if e.Panel != "low" && e.Panel != "high" {
+				t.Errorf("figure entry %q has panel %q", e.ID, e.Panel)
+			}
+			if len(e.ThreadLadder) == 0 {
+				t.Errorf("figure entry %q has no thread ladder", e.ID)
+			}
+		}
+	}
+	for f := 6; f <= 10; f++ {
+		if !figures[f] {
+			t.Errorf("figure %d not in registry", f)
+		}
 	}
 	for _, id := range FigureOrder {
-		s, ok := figs[id]
-		if !ok {
-			t.Fatalf("figure %q missing from registry", id)
+		if !seen[id] {
+			t.Errorf("FigureOrder id %q not in registry", id)
 		}
-		if s.ID != id {
-			t.Errorf("figure %q has mismatched ID %q", id, s.ID)
+	}
+	// Registry() must build entries in presentation order (registryIDs),
+	// which is also the rank stamped onto records.
+	if len(entries) != len(registryIDs) {
+		t.Fatalf("registryIDs has %d ids, registry %d entries", len(registryIDs), len(entries))
+	}
+	for i, e := range entries {
+		if e.ID != registryIDs[i] {
+			t.Errorf("registry[%d] = %q, want %q (presentation order)", i, e.ID, registryIDs[i])
 		}
-		if len(s.Systems) < 2 {
-			t.Errorf("figure %q has %d systems", id, len(s.Systems))
+		if registryRank[e.ID] != i {
+			t.Errorf("registryRank[%q] = %d, want %d", e.ID, registryRank[e.ID], i)
 		}
 	}
 }
 
-func TestAllRegistry(t *testing.T) {
-	list, byID := All(quickScale())
-	if len(list) != 15 { // 10 figure panels + 5 ablations
-		t.Fatalf("All() = %d experiments, want 15", len(list))
+func TestLookupAndSelect(t *testing.T) {
+	if _, ok := Lookup("fig6-low"); !ok {
+		t.Fatal("fig6-low not found")
 	}
-	for _, e := range list {
-		if byID[e.ID].ID != e.ID {
-			t.Errorf("experiment %q not indexed", e.ID)
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+
+	cases := []struct {
+		sel  string
+		want int
+	}{
+		{"all", 15},
+		{"figures", 10},
+		{"ablations", 5},
+		{"fig6", 2},
+		{"6", 2},
+		{"fig9-low", 1},
+		{"capacity", 1},
+		{"fig6,fig9-low,capacity", 4},
+	}
+	for _, c := range cases {
+		got, err := Select(c.sel)
+		if err != nil {
+			t.Errorf("Select(%q): %v", c.sel, err)
+			continue
 		}
-		if e.Title == "" || e.Run == nil {
-			t.Errorf("experiment %q incomplete", e.ID)
+		if len(got) != c.want {
+			t.Errorf("Select(%q) = %d entries, want %d", c.sel, len(got), c.want)
 		}
+	}
+	if _, err := Select("figNaN"); err == nil {
+		t.Error("bogus selector accepted")
+	}
+	if _, err := Select(""); err == nil {
+		t.Error("empty selector accepted")
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	for _, name := range ScaleNames() {
+		if _, err := ScaleByName(name); err != nil {
+			t.Errorf("ScaleByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ScaleByName("warp"); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	sc, _ := ScaleByName("paper")
+	if sc.MaxThreads != 0 || sc.WorkloadDiv != 0 {
+		t.Errorf("paper scale should be the zero value, got %+v", sc)
 	}
 }
 
@@ -61,13 +139,12 @@ func TestScaleThreads(t *testing.T) {
 			t.Fatalf("threads = %v, want %v", got, want)
 		}
 	}
-	// A cap below the ladder yields the cap itself.
-	sc = Scale{MaxThreads: 3}
 	got = Scale{MaxThreads: 0}.threads([]int{5})
 	if len(got) != 1 || got[0] != 5 {
 		t.Fatalf("uncapped ladder mangled: %v", got)
 	}
-	got = sc.threads([]int{4, 8})
+	// A cap below the ladder yields the cap itself.
+	got = Scale{MaxThreads: 3}.threads([]int{4, 8})
 	if len(got) != 1 || got[0] != 3 {
 		t.Fatalf("below-ladder cap: %v, want [3]", got)
 	}
@@ -75,23 +152,84 @@ func TestScaleThreads(t *testing.T) {
 
 func TestNewSystemNames(t *testing.T) {
 	heap, m := machine(1 << 8)
-	for _, name := range []string{"htm", "si-htm", "si-htm-noro", "si-htm-killer", "p8tm", "silo", "sgl"} {
-		sys, err := newSystem(name, m, heap, 1)
+	for _, name := range SystemNames() {
+		sys, err := NewSystem(name, m, heap, 1)
 		if err != nil {
-			t.Fatalf("newSystem(%q): %v", name, err)
+			t.Fatalf("NewSystem(%q): %v", name, err)
 		}
 		if sys == nil {
-			t.Fatalf("newSystem(%q) returned nil", name)
+			t.Fatalf("NewSystem(%q) returned nil", name)
 		}
 	}
-	if _, err := newSystem("bogus", m, heap, 1); err == nil {
+	if _, err := NewSystem("bogus", m, heap, 1); err == nil {
 		t.Fatal("bogus system accepted")
 	}
 }
 
-// A miniature end-to-end run of one hash-map figure and one TPC-C figure:
-// the sweeps execute, produce reports with both panels, and pass their
-// post-run checks.
+func TestRunCellRejectsUnknownSystem(t *testing.T) {
+	e, _ := Lookup("fig6-low")
+	if _, err := e.RunCell("silo", quickScale(), nil); err == nil {
+		t.Fatal("fig6-low has no silo cell; RunCell accepted it")
+	}
+}
+
+func TestSweepForCoversSweepEntries(t *testing.T) {
+	for _, id := range append(append([]string{}, FigureOrder...), "rofast", "killer") {
+		s, ok := SweepFor(id, quickScale())
+		if !ok || s == nil {
+			t.Errorf("SweepFor(%q) missing", id)
+			continue
+		}
+		if s.ID != id || s.Setup == nil {
+			t.Errorf("SweepFor(%q) malformed: %+v", id, s)
+		}
+	}
+	if _, ok := SweepFor("capacity", quickScale()); ok {
+		t.Error("capacity is not sweep-backed; SweepFor returned one")
+	}
+}
+
+// Every registered experiment must be runnable at CI scale: every
+// (entry × system) cell executes, produces records stamped with the
+// entry's coordinates, and passes its post-run checks.
+func TestEveryEntryRunsAtCIScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every (entry × system) cell; several seconds")
+	}
+	sc := quickScale()
+	for _, e := range Registry() {
+		for _, system := range e.Systems {
+			e, system := e, system
+			t.Run(e.ID+"/"+system, func(t *testing.T) {
+				var streamed int
+				recs, err := e.RunCell(system, sc, func(results.Record) { streamed++ })
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(recs) == 0 {
+					t.Fatal("no records produced")
+				}
+				if streamed != len(recs) {
+					t.Errorf("hook saw %d records, returned %d", streamed, len(recs))
+				}
+				for _, r := range recs {
+					if r.Experiment != e.ID || r.System != system {
+						t.Errorf("record mis-stamped: %+v", r)
+					}
+					if r.Workload != e.Workload {
+						t.Errorf("record workload %q, want %q", r.Workload, e.Workload)
+					}
+					if r.Commits == 0 {
+						t.Errorf("cell %s/%s point %q/%d committed nothing", e.ID, r.System, r.Param, r.Threads)
+					}
+				}
+			})
+		}
+	}
+}
+
+// A miniature end-to-end run of one hash-map figure and one TPC-C
+// figure across all their systems.
 func TestMiniatureFigureRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("miniature figure runs take a few seconds")
@@ -99,16 +237,27 @@ func TestMiniatureFigureRuns(t *testing.T) {
 	sc := quickScale()
 	for _, id := range []string{"fig6-high", "fig9-high"} {
 		t.Run(id, func(t *testing.T) {
-			_, byID := All(sc)
-			e := byID[id]
-			report, err := e.Run(nil)
+			e, ok := Lookup(id)
+			if !ok {
+				t.Fatalf("%s missing", id)
+			}
+			recs, err := e.Run(sc, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			for _, want := range []string{"throughput", "aborts", "csv:", "si-htm"} {
-				if !strings.Contains(report, want) {
-					t.Errorf("report missing %q", want)
+			perSystem := map[string]int{}
+			for _, r := range recs {
+				perSystem[r.System]++
+			}
+			for _, s := range e.Systems {
+				if perSystem[s] == 0 {
+					t.Errorf("system %s produced no records", s)
 				}
+			}
+			var b strings.Builder
+			results.MarkdownThroughput(&b, e.Title, recs)
+			if !strings.Contains(b.String(), "si-htm") {
+				t.Errorf("markdown rendering lost systems:\n%s", b.String())
 			}
 		})
 	}
@@ -120,28 +269,30 @@ func TestCapacityCliffShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("ablation run takes a few seconds")
 	}
-	e := CapacityCliff(quickScale())
-	report, err := e.Run(nil)
+	e, ok := Lookup("capacity")
+	if !ok {
+		t.Fatal("capacity entry missing")
+	}
+	recs, err := e.Run(quickScale(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sawHTMCliff, sawSIFlat bool
-	for _, line := range strings.Split(report, "\n") {
-		f := strings.Fields(line)
-		if len(f) != 5 {
+	for _, r := range recs {
+		if r.Param != "footprint=96" {
 			continue
 		}
-		if f[0] == "htm" && f[1] == "96" && f[3] != "0.00" {
+		if r.System == "htm" && r.AbortsCapacity > 0 {
 			sawHTMCliff = true
 		}
-		if f[0] == "si-htm" && f[1] == "96" && f[3] == "0.00" {
+		if r.System == "si-htm" && r.AbortsCapacity == 0 {
 			sawSIFlat = true
 		}
 	}
 	if !sawHTMCliff {
-		t.Errorf("HTM capacity cliff at 96 lines not visible:\n%s", report)
+		t.Errorf("HTM capacity cliff at 96 lines not visible: %+v", recs)
 	}
 	if !sawSIFlat {
-		t.Errorf("SI-HTM not flat at 96 lines:\n%s", report)
+		t.Errorf("SI-HTM not flat at 96 lines: %+v", recs)
 	}
 }

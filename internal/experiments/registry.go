@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/results"
+	"sihtm/internal/topology"
+)
+
+// Entry is one row of the experiment registry: a declarative description
+// of a figure panel or ablation — its identity, workload, systems and
+// thread ladder are enumerable without running anything — plus the cell
+// runner that measures one (entry × system) column.
+type Entry struct {
+	// ID is the registry key ("fig6-low", "capacity", ...).
+	ID string
+	// Figure is the paper figure reproduced (6–10; 0 for ablations).
+	Figure int
+	// Panel is the figure's contention panel ("low", "high"; "" for
+	// ablations).
+	Panel string
+	// Title is the human-readable description.
+	Title string
+	// Workload names the workload family: "hashmap", "tpcc", "synthetic".
+	Workload string
+	// Systems are the concurrency controls compared, in display order.
+	Systems []string
+	// ThreadLadder is the x-axis before Scale capping; nil for ablations
+	// that sweep a parameter at a fixed thread count.
+	ThreadLadder []int
+	// Params summarizes fixed workload parameters for `repro list`
+	// (e.g. "buckets=1000 chain=200 ro=90%").
+	Params string
+
+	// run measures one (entry × system) cell at the given scale,
+	// invoking hook for every record produced. Set by the constructors
+	// in this package.
+	run func(system string, sc Scale, hook func(results.Record)) error
+}
+
+// RunCell measures one (entry × system) cell — the unit of parallelism
+// in the reproduction pipeline — and returns its records. hook (may be
+// nil) streams each record as it is produced.
+func (e Entry) RunCell(system string, sc Scale, hook func(results.Record)) ([]results.Record, error) {
+	known := false
+	for _, s := range e.Systems {
+		if s == system {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("experiments: %s has no system %q (systems: %v)", e.ID, system, e.Systems)
+	}
+	var recs []results.Record
+	collect := func(r results.Record) {
+		recs = append(recs, r)
+		if hook != nil {
+			hook(r)
+		}
+	}
+	if err := e.run(system, sc, collect); err != nil {
+		return nil, fmt.Errorf("experiments: %s/%s: %w", e.ID, system, err)
+	}
+	return recs, nil
+}
+
+// Run measures every system of the entry sequentially. hook may be nil.
+func (e Entry) Run(sc Scale, hook func(results.Record)) ([]results.Record, error) {
+	var recs []results.Record
+	for _, system := range e.Systems {
+		rs, err := e.RunCell(system, sc, hook)
+		if err != nil {
+			return nil, err
+		}
+		recs = append(recs, rs...)
+	}
+	return recs, nil
+}
+
+// record stamps a harness result with the entry's registry coordinates.
+func (e Entry) record(param string, hr harness.Result) results.Record {
+	r := results.FromHarness(e.ID, e.Figure, e.Panel, e.Workload, param, hr)
+	r.Order = registryRank[e.ID]
+	return r
+}
+
+// registryIDs is the presentation order of the whole registry: figures
+// first, then ablations A1..A5. Registry() builds entries in this order
+// and records carry the rank so reports render in it too.
+var registryIDs = append(append([]string{}, FigureOrder...),
+	"capacity", "tmcam", "rofast", "killer", "smt")
+
+// registryRank maps entry id → presentation rank.
+var registryRank = func() map[string]int {
+	m := make(map[string]int, len(registryIDs))
+	for i, id := range registryIDs {
+		m[id] = i
+	}
+	return m
+}()
+
+// Registry returns every experiment, figures first in presentation
+// order, then ablations. The slice is freshly built; callers may modify
+// their copy.
+func Registry() []Entry {
+	entries := make([]Entry, 0, len(FigureOrder)+5)
+	for _, id := range FigureOrder {
+		entries = append(entries, figureEntry(id))
+	}
+	entries = append(entries,
+		capacityEntry(),
+		tmcamEntry(),
+		roFastPathEntry(),
+		killerEntry(),
+		smtEntry(),
+	)
+	return entries
+}
+
+// Lookup finds a registry entry by id.
+func Lookup(id string) (Entry, bool) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Select resolves a selector to registry entries, in registry order:
+//
+//	"all"               every entry
+//	"figures"           every figN-* entry
+//	"ablations"         every non-figure entry
+//	"fig6" / "6"        both panels of one figure
+//	"fig6-low"          a single entry
+//	"a,b,c"             union of selectors
+func Select(selector string) ([]Entry, error) {
+	all := Registry()
+	want := map[string]bool{}
+	for _, sel := range strings.Split(selector, ",") {
+		sel = strings.TrimSpace(sel)
+		if sel == "" {
+			continue
+		}
+		if n, err := strconv.Atoi(sel); err == nil {
+			sel = fmt.Sprintf("fig%d", n)
+		}
+		matched := false
+		for _, e := range all {
+			switch {
+			case sel == "all",
+				sel == "figures" && e.Figure > 0,
+				sel == "ablations" && e.Figure == 0,
+				sel == e.ID,
+				strings.HasPrefix(e.ID, sel+"-"):
+				want[e.ID] = true
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("experiments: selector %q matches nothing", sel)
+		}
+	}
+	var out []Entry
+	for _, e := range all {
+		if want[e.ID] {
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiments: empty selector")
+	}
+	return out, nil
+}
+
+// Titles maps entry ids to titles (for rendering reports).
+func Titles() map[string]string {
+	m := map[string]string{}
+	for _, e := range Registry() {
+		m[e.ID] = e.Title
+	}
+	return m
+}
+
+// Named scale presets: the trade-off between fidelity to the paper's
+// shape and wall-clock time.
+var scales = map[string]Scale{
+	// "paper" is the full evaluation: the complete thread ladder to 80
+	// and the paper's workload sizes. Hours on a laptop.
+	"paper": {},
+	// "quick" keeps the interesting SMT region but shrinks workloads.
+	"quick": {MaxThreads: 16, WorkloadDiv: 4, Warmup: 50 * time.Millisecond, Measure: 200 * time.Millisecond},
+	// "ci" is the smoke scale: every cell runs, nothing is measured
+	// carefully. Tens of seconds for the whole registry.
+	"ci": {MaxThreads: 4, WorkloadDiv: 20, Warmup: 10 * time.Millisecond, Measure: 40 * time.Millisecond},
+}
+
+// ScaleByName resolves a named scale preset ("paper", "quick", "ci").
+func ScaleByName(name string) (Scale, error) {
+	sc, ok := scales[name]
+	if !ok {
+		return Scale{}, fmt.Errorf("experiments: unknown scale %q (known: %s)", name, strings.Join(ScaleNames(), ", "))
+	}
+	return sc, nil
+}
+
+// ScaleNames lists the scale presets, alphabetically.
+func ScaleNames() []string {
+	names := make([]string, 0, len(scales))
+	for n := range scales {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MachineDescription describes the simulated hardware for report
+// metadata.
+func MachineDescription() string {
+	return fmt.Sprintf("%d cores × SMT-%d POWER8, TMCAM 64 lines/core", topology.PaperCores, topology.PaperSMTWays)
+}

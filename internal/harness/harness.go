@@ -1,14 +1,12 @@
 // Package harness runs the paper's experiments: timed, multi-threaded
-// sweeps over (system × thread-count) with warm-up, per-window statistics
-// deltas, and the throughput/abort-breakdown tables that correspond to
-// the two panels of each figure in §4.
+// sweeps over (system × thread-count) with warm-up and per-window
+// statistics deltas. Each measurement is a structured Result, streamed
+// to an Observer as it completes; rendering lives in internal/results.
 package harness
 
 import (
 	"fmt"
-	"io"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,164 +111,69 @@ type Sweep struct {
 	Setup func(system string, threads int) (sys tm.System, mkWorker func(thread int) func(), check func() error, err error)
 }
 
-// Execute runs the sweep, writing progress lines to progress (if non-nil),
-// and returns results indexed [threadCount][system].
-func (s *Sweep) Execute(progress io.Writer) ([]Result, error) {
+// Observer receives one structured event per completed measurement.
+// Observers replace ad-hoc progress printing: the harness reports what
+// happened, callers decide how (or whether) to render it. A nil Observer
+// is always allowed.
+type Observer func(sweepID string, r Result)
+
+// Execute runs the sweep over every system, invoking obs (if non-nil)
+// after each measurement, and returns all results.
+func (s *Sweep) Execute(obs Observer) ([]Result, error) {
+	var results []Result
+	for _, name := range s.Systems {
+		rs, err := s.ExecuteSystem(name, obs)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, rs...)
+	}
+	sortResults(results, s)
+	return results, nil
+}
+
+// ExecuteSystem runs one system's column of the sweep — the independent
+// cell unit the reproduction pipeline parallelizes over — walking the
+// full thread ladder.
+func (s *Sweep) ExecuteSystem(system string, obs Observer) ([]Result, error) {
 	var results []Result
 	for _, n := range s.ThreadCounts {
-		for _, name := range s.Systems {
-			sys, mkWorker, check, err := s.Setup(name, n)
-			if err != nil {
-				return nil, fmt.Errorf("%s: setup %s/%d: %w", s.ID, name, n, err)
+		sys, mkWorker, check, err := s.Setup(system, n)
+		if err != nil {
+			return nil, fmt.Errorf("%s: setup %s/%d: %w", s.ID, system, n, err)
+		}
+		r := Run(sys, n, s.Warmup, s.Measure, mkWorker)
+		// Label with the sweep's system key: variant sweeps (e.g. the
+		// killer-policy ablation) compare two configurations of one
+		// system, which share a Name().
+		r.System = system
+		if check != nil {
+			if err := check(); err != nil {
+				return nil, fmt.Errorf("%s: %s/%d threads: post-run check: %w", s.ID, system, n, err)
 			}
-			r := Run(sys, n, s.Warmup, s.Measure, mkWorker)
-			// Label with the sweep's system key: variant sweeps (e.g. the
-			// killer-policy ablation) compare two configurations of one
-			// system, which share a Name().
-			r.System = name
-			if check != nil {
-				if err := check(); err != nil {
-					return nil, fmt.Errorf("%s: %s/%d threads: post-run check: %w", s.ID, name, n, err)
-				}
-			}
-			results = append(results, r)
-			if progress != nil {
-				fmt.Fprintf(progress, "  %-8s %3d threads: %12.0f tx/s  aborts %5.1f%% (tx %4.1f%% | non-tx %4.1f%% | cap %4.1f%%)  fallbacks %d\n",
-					name, n, r.Throughput, 100*r.Stats.AbortRate(),
-					r.AbortPercent(stats.AbortTransactional),
-					r.AbortPercent(stats.AbortNonTransactional),
-					r.AbortPercent(stats.AbortCapacity),
-					r.Stats.Fallbacks)
-			}
+		}
+		results = append(results, r)
+		if obs != nil {
+			obs(s.ID, r)
 		}
 	}
 	return results, nil
 }
 
-// FormatThroughputTable renders the figure's throughput panel: one row
-// per thread count, one column per system.
-func FormatThroughputTable(w io.Writer, title string, results []Result) {
-	systems := systemOrder(results)
-	fmt.Fprintf(w, "%s — throughput (tx/s)\n", title)
-	fmt.Fprintf(w, "%8s", "threads")
-	for _, s := range systems {
-		fmt.Fprintf(w, " %14s", s)
+// sortResults restores the sweep's canonical (thread-count, system)
+// ordering after per-system execution.
+func sortResults(results []Result, s *Sweep) {
+	rank := make(map[string]int, len(s.Systems))
+	for i, name := range s.Systems {
+		rank[name] = i
 	}
-	fmt.Fprintln(w)
-	for _, n := range threadOrder(results) {
-		fmt.Fprintf(w, "%8d", n)
-		for _, s := range systems {
-			if r, ok := lookup(results, s, n); ok {
-				fmt.Fprintf(w, " %14.0f", r.Throughput)
-			} else {
-				fmt.Fprintf(w, " %14s", "-")
-			}
+	sort.SliceStable(results, func(i, j int) bool {
+		if results[i].Threads != results[j].Threads {
+			return results[i].Threads < results[j].Threads
 		}
-		fmt.Fprintln(w)
-	}
+		return rank[results[i].System] < rank[results[j].System]
+	})
 }
 
-// FormatAbortTable renders the figure's abort panel: per thread count and
-// system, the percentage of attempts aborted, split by cause.
-func FormatAbortTable(w io.Writer, title string, results []Result) {
-	systems := systemOrder(results)
-	fmt.Fprintf(w, "%s — aborts (%% of attempts: transactional/non-transactional/capacity)\n", title)
-	fmt.Fprintf(w, "%8s", "threads")
-	for _, s := range systems {
-		fmt.Fprintf(w, " %20s", s)
-	}
-	fmt.Fprintln(w)
-	for _, n := range threadOrder(results) {
-		fmt.Fprintf(w, "%8d", n)
-		for _, s := range systems {
-			if r, ok := lookup(results, s, n); ok {
-				fmt.Fprintf(w, "    %5.1f/%5.1f/%5.1f",
-					r.AbortPercent(stats.AbortTransactional),
-					r.AbortPercent(stats.AbortNonTransactional),
-					r.AbortPercent(stats.AbortCapacity))
-			} else {
-				fmt.Fprintf(w, " %20s", "-")
-			}
-		}
-		fmt.Fprintln(w)
-	}
-}
-
-// FormatCSV renders results machine-readably (one row per measurement).
-func FormatCSV(w io.Writer, results []Result) {
-	fmt.Fprintln(w, "system,threads,throughput_tx_s,commits,commits_ro,aborts_tx,aborts_nontx,aborts_capacity,aborts_other,fallbacks,abort_rate")
-	for _, r := range results {
-		fmt.Fprintf(w, "%s,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%.4f\n",
-			r.System, r.Threads, r.Throughput,
-			r.Stats.Commits, r.Stats.CommitsRO,
-			r.Stats.Aborts[stats.AbortTransactional],
-			r.Stats.Aborts[stats.AbortNonTransactional],
-			r.Stats.Aborts[stats.AbortCapacity],
-			r.Stats.Aborts[stats.AbortExplicit]+r.Stats.Aborts[stats.AbortOther],
-			r.Stats.Fallbacks,
-			r.Stats.AbortRate())
-	}
-}
-
-func systemOrder(results []Result) []string {
-	var names []string
-	seen := map[string]bool{}
-	for _, r := range results {
-		if !seen[r.System] {
-			seen[r.System] = true
-			names = append(names, r.System)
-		}
-	}
-	return names
-}
-
-func threadOrder(results []Result) []int {
-	var ns []int
-	seen := map[int]bool{}
-	for _, r := range results {
-		if !seen[r.Threads] {
-			seen[r.Threads] = true
-			ns = append(ns, r.Threads)
-		}
-	}
-	sort.Ints(ns)
-	return ns
-}
-
-func lookup(results []Result, system string, threads int) (Result, bool) {
-	for _, r := range results {
-		if r.System == system && r.Threads == threads {
-			return r, true
-		}
-	}
-	return Result{}, false
-}
-
-// Peak returns the best throughput a system reached across thread counts.
-func Peak(results []Result, system string) Result {
-	var best Result
-	for _, r := range results {
-		if r.System == system && r.Throughput > best.Throughput {
-			best = r
-		}
-	}
-	return best
-}
-
-// SpeedupSummary reports peak-vs-peak speedups of `of` over every other
-// system, as the paper quotes (e.g. "+300% over HTM").
-func SpeedupSummary(results []Result, of string) string {
-	var b strings.Builder
-	peak := Peak(results, of)
-	fmt.Fprintf(&b, "%s peak: %.0f tx/s @ %d threads", of, peak.Throughput, peak.Threads)
-	for _, s := range systemOrder(results) {
-		if s == of {
-			continue
-		}
-		other := Peak(results, s)
-		if other.Throughput > 0 {
-			fmt.Fprintf(&b, "; vs %s %+.0f%%", s, 100*(peak.Throughput/other.Throughput-1))
-		}
-	}
-	return b.String()
-}
+// Table rendering and peak/speedup summaries live in internal/results,
+// which consumes the typed records built from these Results.

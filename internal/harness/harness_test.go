@@ -93,58 +93,63 @@ func TestSweepExecuteAndTables(t *testing.T) {
 			return sys, mk, func() error { return nil }, nil
 		},
 	}
-	var progress strings.Builder
-	results, err := s.Execute(&progress)
+	var events []string
+	obs := func(sweepID string, r harness.Result) {
+		events = append(events, sweepID+"/"+r.System)
+	}
+	results, err := s.Execute(obs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(results) != 4 {
 		t.Fatalf("results = %d, want 4 (2 systems × 2 thread counts)", len(results))
 	}
-	if !strings.Contains(progress.String(), "sgl") {
-		t.Error("progress output missing system names")
+	if len(events) != 4 || events[0] != "test/sgl" {
+		t.Errorf("observer events = %v", events)
 	}
-
-	var tb strings.Builder
-	harness.FormatThroughputTable(&tb, "T", results)
-	out := tb.String()
-	for _, want := range []string{"threads", "sgl", "si-htm", "\n       1", "\n       2"} {
-		if !strings.Contains(out, want) {
-			t.Errorf("throughput table missing %q:\n%s", want, out)
-		}
-	}
-
-	tb.Reset()
-	harness.FormatAbortTable(&tb, "T", results)
-	if !strings.Contains(tb.String(), "aborts") {
-		t.Error("abort table missing header")
-	}
-
-	tb.Reset()
-	harness.FormatCSV(&tb, results)
-	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
-	if len(lines) != 5 { // header + 4 rows
-		t.Fatalf("csv rows = %d, want 5", len(lines))
-	}
-	if !strings.HasPrefix(lines[0], "system,threads,throughput") {
-		t.Errorf("csv header = %q", lines[0])
+	// Execute restores canonical (threads, system) order even though it
+	// runs system columns independently.
+	if results[0].Threads != 1 || results[0].System != "sgl" || results[1].System != "si-htm" {
+		t.Errorf("result order: %+v", results[:2])
 	}
 }
 
-func TestPeakAndSpeedupSummary(t *testing.T) {
-	results := []harness.Result{
-		{System: "htm", Threads: 1, Throughput: 100},
-		{System: "htm", Threads: 2, Throughput: 150},
-		{System: "si-htm", Threads: 1, Throughput: 200},
-		{System: "si-htm", Threads: 2, Throughput: 600},
+func TestExecuteSystemRunsOneColumn(t *testing.T) {
+	s := &harness.Sweep{
+		ID:           "col",
+		Systems:      []string{"sgl", "si-htm"},
+		ThreadCounts: []int{1, 2},
+		Warmup:       time.Millisecond,
+		Measure:      10 * time.Millisecond,
+		Setup: func(system string, threads int) (tm.System, func(int) func(), func() error, error) {
+			heap := memsim.NewHeapLines(1 << 8)
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.New(2, 2)})
+			sys := tm.System(sgl.NewSystem(m, threads))
+			if system == "si-htm" {
+				sys = sihtm.NewSystem(m, threads, sihtm.Config{})
+			}
+			x := heap.AllocLine()
+			mk := func(thread int) func() {
+				return func() {
+					sys.Atomic(thread, tm.KindUpdate, func(ops tm.Ops) {
+						ops.Write(x, ops.Read(x)+1)
+					})
+				}
+			}
+			return sys, mk, nil, nil
+		},
 	}
-	p := harness.Peak(results, "si-htm")
-	if p.Throughput != 600 || p.Threads != 2 {
-		t.Fatalf("Peak = %+v", p)
+	results, err := s.ExecuteSystem("si-htm", nil)
+	if err != nil {
+		t.Fatal(err)
 	}
-	s := harness.SpeedupSummary(results, "si-htm")
-	if !strings.Contains(s, "si-htm peak: 600") || !strings.Contains(s, "vs htm +300%") {
-		t.Fatalf("SpeedupSummary = %q", s)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2 (one system × 2 thread counts)", len(results))
+	}
+	for i, n := range []int{1, 2} {
+		if results[i].System != "si-htm" || results[i].Threads != n {
+			t.Errorf("result %d = %s/%d, want si-htm/%d", i, results[i].System, results[i].Threads, n)
+		}
 	}
 }
 

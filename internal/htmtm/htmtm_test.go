@@ -1,6 +1,7 @@
 package htmtm_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -133,9 +134,11 @@ func TestConflictAbortsAreCounted(t *testing.T) {
 				sys.Atomic(id, tm.KindUpdate, func(ops tm.Ops) {
 					v := ops.Read(x)
 					// Widen the conflict window so concurrent increments
-					// overlap even on heavily time-sliced hosts.
+					// overlap even on heavily time-sliced or single-CPU
+					// hosts (the yield forces an interleaving point).
 					for j := 0; j < 16; j++ {
 						v += ops.Read(pad + memsim.Addr(j*memsim.WordsPerLine))
+						runtime.Gosched()
 					}
 					ops.Write(x, v+1)
 				})

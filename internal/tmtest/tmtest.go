@@ -167,8 +167,10 @@ func CheckWriteSkew(t *testing.T, sys tm.System, heap *memsim.Heap, x, y memsim.
 				// Wait (bounded) for the peer to finish reading, so the
 				// reads of both transactions overlap. Bounded so that a
 				// serializable system that kills the peer cannot deadlock
-				// this barrier.
+				// this barrier; yielding so the peer gets scheduled even on
+				// a single-CPU host.
 				for spin := 0; phase.Load() < 2 && spin < 1<<16; spin++ {
+					runtime.Gosched()
 				}
 				if sum == 0 {
 					ops.Write(own, 1)
@@ -209,6 +211,7 @@ func CheckReadPromotion(t *testing.T, sys tm.System, heap *memsim.Heap, x, y mem
 				sum := ops.Read(own) + vOther
 				phase.Add(1)
 				for spin := 0; phase.Load() < 2 && spin < 1<<16; spin++ {
+					runtime.Gosched()
 				}
 				if sum == 0 {
 					ops.Write(own, 1)
