@@ -19,6 +19,7 @@ import (
 
 	"sihtm/internal/experiments"
 	"sihtm/internal/harness"
+	"sihtm/internal/hotbench"
 	"sihtm/internal/htm"
 	"sihtm/internal/memsim"
 	"sihtm/internal/sihtm"
@@ -129,6 +130,24 @@ func BenchmarkFig10TPCCReadDominatedLowContention(b *testing.B) {
 }
 func BenchmarkFig10TPCCReadDominatedHighContention(b *testing.B) {
 	benchFigure(b, "fig10-high", benchTPCCScale)
+}
+
+// BenchmarkAtomic is the end-to-end hot-path benchmark: one SI-HTM
+// Atomic update transaction reading and writing 1→4096 cache lines on a
+// single thread — the whole software stack (ROT attempt, commit,
+// quiescence) with zero contention, so it isolates per-footprint
+// software overhead. The same scenario backs `repro bench` and
+// BENCH_hotpath.json (see docs/performance.md).
+func BenchmarkAtomic(b *testing.B) {
+	for _, c := range hotbench.CasesFor("atomic", hotbench.DefaultSweep) {
+		b.Run(c.Sub(), func(b *testing.B) {
+			run := c.Setup()
+			run(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(b.N)
+		})
+	}
 }
 
 // Ablation A1: the capacity cliff — read footprint sweep at one thread.

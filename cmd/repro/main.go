@@ -25,11 +25,15 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sihtm/internal/experiments"
+	"sihtm/internal/hotbench"
 	"sihtm/internal/results"
 )
 
@@ -44,6 +48,8 @@ func main() {
 		err = cmdList(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -66,7 +72,15 @@ func usage() {
 commands:
   list                      enumerate the experiment registry
   run                       run experiments, write JSON + markdown results
+  bench                     run the hot-path microbenchmark suite (BENCH_hotpath.json)
   compare                   compare two result files for regressions
+
+bench flags:
+  --time=DUR                per-case measurement budget (default 100ms)
+  --sweep=1,64,...          footprint ladder in cache lines (default 1,4,16,64,256,1024,4096)
+  --out=FILE                JSON results (default BENCH_hotpath.json)
+  --baseline=FILE           embed a previous bench report's records as the baseline
+  --quiet                   suppress per-case progress
 
 run flags:
   --all                     run every registry entry
@@ -81,6 +95,8 @@ run flags:
   --tolerance=F             regression tolerance as a fraction (default 0.5)
   --min-commits=N           skip baseline cells with fewer commits (default 100)
   --fail-on-regression      exit non-zero if the baseline comparison flags cells
+  --cpuprofile=FILE         write a pprof CPU profile of the run
+  --memprofile=FILE         write a pprof heap profile after the run
   --quiet                   suppress per-cell progress
 `)
 }
@@ -131,10 +147,41 @@ func cmdRun(args []string) error {
 		tolerance  = fs.Float64("tolerance", 0.5, "regression tolerance fraction")
 		minCommits = fs.Uint64("min-commits", 100, "skip baseline cells with fewer commits (noise)")
 		failOnReg  = fs.Bool("fail-on-regression", false, "exit non-zero on flagged regressions")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile after the run")
 		quiet      = fs.Bool("quiet", false, "suppress per-cell progress")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repro: memprofile:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "repro: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	sc, err := experiments.ScaleByName(*scaleName)
@@ -297,6 +344,68 @@ func runCells(cells []cell, sc experiments.Scale, scaleName string, shards int, 
 	}
 	rep.Sort()
 	return rep, firstEC
+}
+
+// cmdBench runs the hot-path microbenchmark suite (internal/hotbench)
+// and writes BENCH_hotpath.json. With --baseline, a previous report's
+// records are embedded so one artifact carries before/after numbers and
+// the printed table gains a speed-up column.
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	var (
+		budget   = fs.Duration("time", 100*time.Millisecond, "per-case measurement budget")
+		sweepStr = fs.String("sweep", "", "comma-separated footprint ladder in cache lines")
+		out      = fs.String("out", "BENCH_hotpath.json", "JSON output path")
+		baseline = fs.String("baseline", "", "previous bench report to embed as baseline")
+		quiet    = fs.Bool("quiet", false, "suppress per-case progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sweep := hotbench.DefaultSweep
+	if *sweepStr != "" {
+		sweep = nil
+		for _, s := range strings.Split(*sweepStr, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				return fmt.Errorf("bad --sweep entry %q", s)
+			}
+			sweep = append(sweep, n)
+		}
+	}
+
+	rep := &results.BenchReport{
+		Tool:       "cmd/repro bench",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if *baseline != "" {
+		base, err := results.ReadBenchFile(*baseline)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		rep.Baseline = base.Records
+	}
+
+	total := len(hotbench.Cases(sweep))
+	done := 0
+	rep.Records = hotbench.RunAll(sweep, *budget, func(r results.BenchRecord) {
+		done++
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%3d/%3d] %-22s %12.1f ns/op %8.2f allocs/op\n",
+				done, total, r.Name, r.NsPerOp, r.AllocsPerOp)
+		}
+	})
+	rep.Sort()
+
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(rep.Records))
+	}
+	rep.WriteText(os.Stdout)
+	return nil
 }
 
 func cmdCompare(args []string) error {

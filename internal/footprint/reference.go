@@ -1,0 +1,79 @@
+package footprint
+
+import "sihtm/internal/memsim"
+
+// This file keeps the pre-optimisation linear-scan implementations as
+// differential-testing oracles: they implement the same contract as
+// LineSet and WriteBuffer with the simplest possible code (the exact
+// shape internal/htm used before the O(1) structures), so the property
+// tests can drive both over long random operation sequences and demand
+// identical answers.
+
+// RefLineSet is a linear-scan set of cache lines.
+type RefLineSet struct {
+	lines []memsim.Line
+}
+
+// Len returns the number of lines in the set.
+func (s *RefLineSet) Len() int { return len(s.lines) }
+
+// Lines returns the members in insertion order.
+func (s *RefLineSet) Lines() []memsim.Line { return s.lines }
+
+// Contains reports whether l is in the set.
+func (s *RefLineSet) Contains(l memsim.Line) bool {
+	for _, e := range s.lines {
+		if e == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Add inserts l, reporting whether it was newly added.
+func (s *RefLineSet) Add(l memsim.Line) bool {
+	if s.Contains(l) {
+		return false
+	}
+	s.lines = append(s.lines, l)
+	return true
+}
+
+// Reset empties the set.
+func (s *RefLineSet) Reset() { s.lines = s.lines[:0] }
+
+// RefWriteBuffer is a linear-scan write buffer. Get reverse-scans so the
+// most recent store wins, exactly as the original bufferedRead did.
+type RefWriteBuffer struct {
+	entries []Entry
+}
+
+// Len returns the number of distinct buffered addresses.
+func (b *RefWriteBuffer) Len() int { return len(b.entries) }
+
+// Entries returns the buffered stores in first-write order.
+func (b *RefWriteBuffer) Entries() []Entry { return b.entries }
+
+// Get returns the buffered value for a, if any.
+func (b *RefWriteBuffer) Get(a memsim.Addr) (uint64, bool) {
+	for i := len(b.entries) - 1; i >= 0; i-- {
+		if b.entries[i].Addr == a {
+			return b.entries[i].Val, true
+		}
+	}
+	return 0, false
+}
+
+// Put buffers a store of v to a, overwriting any previous value.
+func (b *RefWriteBuffer) Put(a memsim.Addr, v uint64) {
+	for i := range b.entries {
+		if b.entries[i].Addr == a {
+			b.entries[i].Val = v
+			return
+		}
+	}
+	b.entries = append(b.entries, Entry{Addr: a, Val: v})
+}
+
+// Reset empties the buffer.
+func (b *RefWriteBuffer) Reset() { b.entries = b.entries[:0] }

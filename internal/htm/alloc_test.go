@@ -1,0 +1,48 @@
+package htm_test
+
+import (
+	"testing"
+
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/topology"
+)
+
+// TestCommittedTxSteadyStateAllocs pins the whole simulated transaction
+// path — Begin, tracked reads, buffered writes, Commit — at zero heap
+// allocations per committed transaction once the thread's pooled
+// footprint state is warm. This is the acceptance bar of the O(1)
+// footprint-tracking work: the simulator must be able to run the
+// paper's footprint sweeps without the Go allocator in the loop.
+func TestCommittedTxSteadyStateAllocs(t *testing.T) {
+	for _, mode := range []htm.Mode{htm.ModeHTM, htm.ModeROT} {
+		t.Run(mode.String(), func(t *testing.T) {
+			heap := memsim.NewHeapLines(256)
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.New(1, 1), TMCAMLines: 128})
+			const lines = 24
+			addrs := make([]memsim.Addr, lines)
+			for i := range addrs {
+				addrs[i] = heap.AllocLine()
+			}
+			th := m.Thread(0)
+			body := func() {
+				tx := th.Begin(mode)
+				var sum uint64
+				for _, a := range addrs {
+					sum += tx.Read(a)
+				}
+				for _, a := range addrs {
+					tx.Write(a, sum)
+				}
+				tx.Commit()
+			}
+			body() // warm up the pooled footprint state and directory pools
+			if allocs := testing.AllocsPerRun(100, body); allocs != 0 {
+				t.Fatalf("steady-state committed %s transaction allocates %.1f/op, want 0", mode, allocs)
+			}
+			if !m.DirectoryQuiescent() {
+				t.Fatal("directory not quiescent after runs")
+			}
+		})
+	}
+}

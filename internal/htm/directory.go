@@ -36,24 +36,15 @@ type shard struct {
 	_       [64]byte
 }
 
-// shardOf maps a line to its shard with a Fibonacci hash.
+// shardOf maps a line to its shard with a Fibonacci hash. The shift is
+// precomputed in NewMachine; this is on every simulated access's path.
 func (m *Machine) shardOf(line memsim.Line) *shard {
-	h := uint64(line) * 0x9e3779b97f4a7c15
-	return &m.shards[h>>(64-shardBits(len(m.shards)))]
+	return &m.shards[uint64(line)*0x9e3779b97f4a7c15>>m.shardShift]
 }
 
 // shardIndexOf returns the shard index for ordered multi-shard locking.
 func (m *Machine) shardIndexOf(line memsim.Line) int {
-	h := uint64(line) * 0x9e3779b97f4a7c15
-	return int(h >> (64 - shardBits(len(m.shards))))
-}
-
-func shardBits(n int) uint {
-	b := uint(0)
-	for 1<<b < n {
-		b++
-	}
-	return b
+	return int(uint64(line) * 0x9e3779b97f4a7c15 >> m.shardShift)
 }
 
 // entry returns the lineEntry for line, creating it if needed. Caller
@@ -107,10 +98,14 @@ func (s *shard) removeReader(e *lineEntry, tx *Tx) {
 // store queue. Returns with no locks held.
 func (m *Machine) conflictRead(line memsim.Line, requester *Tx) {
 	s := m.shardOf(line)
-	if s.writers.Load() == 0 {
-		return
-	}
 	for {
+		// Re-check the lock-free occupancy count on every iteration, not
+		// just on entry: while this load waits for a committing writer to
+		// drain, the shard can empty out entirely, and a drained shard
+		// must never cost a mutex acquisition.
+		if s.writers.Load() == 0 {
+			return
+		}
 		s.mu.Lock()
 		e, ok := s.lines[line]
 		if !ok || e.writer == nil || e.writer == requester {

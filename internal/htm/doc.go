@@ -35,4 +35,11 @@
 // What is deliberately not modelled: instruction-level timing, cache
 // associativity, and the POWER9 L2 LVDIR read-tracking structure (the
 // paper argues it is incompatible with SMT workloads and does not use it).
+//
+// Per-transaction footprint state (read/write line sets, the store
+// buffer) lives in the O(1), pooled structures of internal/footprint,
+// so the cost of a simulated access is independent of transaction size
+// and a committed transaction allocates no heap memory in steady state
+// — a property the hot-path benchmark suite (internal/hotbench,
+// docs/performance.md) guards.
 package htm

@@ -2,6 +2,7 @@ package htm
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 
 	"sihtm/internal/memsim"
@@ -70,6 +71,11 @@ type Machine struct {
 	cores   []coreState
 	shards  []shard
 	threads []Thread
+
+	// shardShift maps a line hash to its shard index (64 - log2(shards)),
+	// precomputed once here so the per-access shardOf/shardIndexOf never
+	// recompute the shard-table geometry.
+	shardShift uint
 }
 
 // NewMachine builds a machine over the given heap.
@@ -79,10 +85,11 @@ func NewMachine(heap *memsim.Heap, cfg Config) *Machine {
 	}
 	cfg = cfg.withDefaults()
 	m := &Machine{
-		cfg:    cfg,
-		heap:   heap,
-		cores:  make([]coreState, cfg.Topology.Cores()),
-		shards: make([]shard, cfg.Shards),
+		cfg:        cfg,
+		heap:       heap,
+		cores:      make([]coreState, cfg.Topology.Cores()),
+		shards:     make([]shard, cfg.Shards),
+		shardShift: uint(64 - bits.TrailingZeros(uint(cfg.Shards))),
 	}
 	for i := range m.shards {
 		m.shards[i].lines = make(map[memsim.Line]*lineEntry)

@@ -37,11 +37,8 @@ func (t *Thread) Begin(mode Mode) *Tx {
 	tx.th = t
 	tx.mode = mode
 	tx.suspended = false
-	tx.writes = tx.writes[:0]
-	tx.writeLines = tx.writeLines[:0]
-	tx.readLines = tx.readLines[:0]
+	tx.resetFootprint()
 	tx.charged = 0
-	tx.rotReads = 0
 	tx.status.Store(statusActive)
 	return tx
 }
@@ -101,10 +98,13 @@ func (m *Machine) plainStore(a memsim.Addr, v uint64) {
 // drain (it would lose the exclusive-ownership race on real hardware).
 func (m *Machine) conflictStore(line memsim.Line) {
 	s := m.shardOf(line)
-	if s.writers.Load() == 0 && s.readers.Load() == 0 {
-		return
-	}
 	for {
+		// As in conflictRead, re-check the occupancy counters on every
+		// iteration so a shard that drains while this store waits on a
+		// committing writer never costs a mutex acquisition.
+		if s.writers.Load() == 0 && s.readers.Load() == 0 {
+			return
+		}
 		s.mu.Lock()
 		e, ok := s.lines[line]
 		if !ok {

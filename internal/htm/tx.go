@@ -1,10 +1,11 @@
 package htm
 
 import (
+	"math/bits"
 	"runtime"
-	"sort"
 	"sync/atomic"
 
+	"sihtm/internal/footprint"
 	"sihtm/internal/memsim"
 )
 
@@ -42,29 +43,40 @@ func doomedStatus(code AbortCode) int32 { return statusDoomedBase + int32(code) 
 func isDoomedStatus(s int32) bool       { return s >= statusDoomedBase }
 func codeOfStatus(s int32) AbortCode    { return AbortCode(s - statusDoomedBase) }
 
-type writeEntry struct {
-	addr memsim.Addr
-	val  uint64
-}
+// maxShardOrder caps the capacity of the pooled commit lock-order
+// scratch retained across transactions (its length is bounded by the
+// number of directory shards a commit touches).
+const maxShardOrder = 4096
 
 // Tx is one hardware transaction. A Tx is obtained from Thread.Begin and
 // driven by the owning goroutine; conflicting peers may asynchronously
 // doom it, and the doom is delivered — as a panic carrying *Abort — at
 // the transaction's next operation, mirroring asynchronous hardware
 // abort delivery.
+//
+// All footprint state (the read/write line sets, the store buffer and
+// the commit scratch) lives in pooled structures recycled across the
+// thread's transactions, so a committed transaction amortizes to zero
+// heap allocations; see internal/footprint.
 type Tx struct {
 	th        *Thread
 	mode      Mode
 	status    atomic.Int32
 	suspended bool
 
-	writes     []writeEntry  // buffered stores, invisible until commit
-	writeLines []memsim.Line // distinct lines in the write set
-	readLines  []memsim.Line // distinct tracked read lines
-	charged    int64         // TMCAM lines charged on the core
-	rotReads   int           // ROT reads seen, for the sampling knob
+	writes     footprint.WriteBuffer // buffered stores, invisible until commit
+	writeLines footprint.LineSet     // distinct lines in the write set
+	readLines  footprint.LineSet     // distinct tracked read lines
+	charged    int64                 // TMCAM lines charged on the core
+	rotReads   int                   // ROT reads seen, for the sampling knob
 
-	shardScratch []int // reused by commit's ordered lock acquisition
+	// Commit's ordered shard-lock acquisition scratch: a bitmap with one
+	// bit per directory shard (marking yields sorted, deduplicated
+	// indices for free) and the flattened ascending index list. Both are
+	// pooled; shardMarks is re-zeroed as it is consumed and shardOrder is
+	// reset — capped at maxShardOrder — on every commit and abort path.
+	shardMarks []uint64
+	shardOrder []int32
 }
 
 // Mode returns the transaction's flavour.
@@ -95,10 +107,10 @@ func (tx *Tx) Poll() { tx.checkDoomed() }
 func (tx *Tx) Kill() bool { return tx.doom(CodeExplicit) }
 
 // WriteSetLines returns the number of distinct cache lines written.
-func (tx *Tx) WriteSetLines() int { return len(tx.writeLines) }
+func (tx *Tx) WriteSetLines() int { return tx.writeLines.Len() }
 
 // ReadSetLines returns the number of distinct cache lines tracked as read.
-func (tx *Tx) ReadSetLines() int { return len(tx.readLines) }
+func (tx *Tx) ReadSetLines() int { return tx.readLines.Len() }
 
 func (tx *Tx) isLive() bool {
 	s := tx.status.Load()
@@ -153,12 +165,28 @@ func (tx *Tx) forceAbortQuiet() {
 	tx.status.Store(statusAborted)
 }
 
+// resetFootprint returns the pooled footprint state to empty. It runs on
+// every transaction exit — commit (with or without writes) and abort —
+// so no path leaves stale scratch behind, and retained capacity is
+// bounded by the footprint package's caps plus maxShardOrder.
+func (tx *Tx) resetFootprint() {
+	tx.writes.Reset()
+	tx.writeLines.Reset()
+	tx.readLines.Reset()
+	if cap(tx.shardOrder) > maxShardOrder {
+		tx.shardOrder = nil
+	} else {
+		tx.shardOrder = tx.shardOrder[:0]
+	}
+	tx.rotReads = 0
+}
+
 // cleanup withdraws the transaction from the directory, releases its
 // TMCAM charge and discards buffered writes. Buffered stores were never
 // visible, so rollback is purely local.
 func (tx *Tx) cleanup() {
 	m := tx.th.m
-	for _, line := range tx.writeLines {
+	for _, line := range tx.writeLines.Lines() {
 		s := m.shardOf(line)
 		s.mu.Lock()
 		if e, ok := s.lines[line]; ok {
@@ -171,8 +199,8 @@ func (tx *Tx) cleanup() {
 		}
 		s.mu.Unlock()
 	}
-	for _, line := range tx.readLines {
-		if tx.lineWritten(line) {
+	for _, line := range tx.readLines.Lines() {
+		if tx.writeLines.Contains(line) {
 			continue // already handled above
 		}
 		s := m.shardOf(line)
@@ -185,38 +213,12 @@ func (tx *Tx) cleanup() {
 	}
 	m.uncharge(tx.th.core, tx.charged)
 	tx.charged = 0
-	tx.writes = tx.writes[:0]
-	tx.writeLines = tx.writeLines[:0]
-	tx.readLines = tx.readLines[:0]
-	tx.rotReads = 0
-}
-
-func (tx *Tx) lineWritten(line memsim.Line) bool {
-	for _, l := range tx.writeLines {
-		if l == line {
-			return true
-		}
-	}
-	return false
-}
-
-func (tx *Tx) lineRead(line memsim.Line) bool {
-	for _, l := range tx.readLines {
-		if l == line {
-			return true
-		}
-	}
-	return false
+	tx.resetFootprint()
 }
 
 // bufferedRead returns the transaction's own buffered value for addr.
 func (tx *Tx) bufferedRead(a memsim.Addr) (uint64, bool) {
-	for i := len(tx.writes) - 1; i >= 0; i-- {
-		if tx.writes[i].addr == a {
-			return tx.writes[i].val, true
-		}
-	}
-	return 0, false
+	return tx.writes.Get(a)
 }
 
 // Read performs a transactional load of the word at a.
@@ -232,14 +234,14 @@ func (tx *Tx) Read(a memsim.Addr) uint64 {
 	}
 	m := tx.th.m
 	line := memsim.LineOf(a)
-	if tx.lineWritten(line) {
+	if tx.writeLines.Contains(line) {
 		if v, ok := tx.bufferedRead(a); ok {
 			return v // reads-own-writes (restriction R3 in the paper)
 		}
 		return m.heap.Load(a)
 	}
 	if tx.mode == ModeHTM {
-		if !tx.lineRead(line) {
+		if !tx.readLines.Contains(line) {
 			tx.trackRead(line)
 		}
 		// A live transaction holding the line in its read set cannot
@@ -251,7 +253,7 @@ func (tx *Tx) Read(a memsim.Addr) uint64 {
 	// the paper's footnote that ROTs may track a small fraction of reads.
 	if every := m.cfg.ROTReadTrackEvery; every > 0 {
 		tx.rotReads++
-		if tx.rotReads%every == 0 && !tx.lineRead(line) {
+		if tx.rotReads%every == 0 && !tx.readLines.Contains(line) {
 			tx.trackRead(line)
 			return m.heap.Load(a)
 		}
@@ -283,7 +285,7 @@ func (tx *Tx) trackRead(line memsim.Line) {
 		}
 		e.readers = append(e.readers, tx)
 		s.readers.Add(1)
-		tx.readLines = append(tx.readLines, line)
+		tx.readLines.Add(line)
 		tx.charged++
 		s.mu.Unlock()
 		return
@@ -301,16 +303,10 @@ func (tx *Tx) Write(a memsim.Addr, v uint64) {
 		return
 	}
 	line := memsim.LineOf(a)
-	if !tx.lineWritten(line) {
+	if !tx.writeLines.Contains(line) {
 		tx.claimWrite(line)
 	}
-	for i := range tx.writes {
-		if tx.writes[i].addr == a {
-			tx.writes[i].val = v
-			return
-		}
-	}
-	tx.writes = append(tx.writes, writeEntry{addr: a, val: v})
+	tx.writes.Put(a, v)
 }
 
 // claimWrite takes exclusive transactional ownership of line: it kills
@@ -327,7 +323,7 @@ func (tx *Tx) claimWrite(line memsim.Line) {
 		s.mu.Unlock()
 		tx.abort(CodeTxConflict)
 	}
-	needCharge := !tx.lineRead(line)
+	needCharge := !tx.readLines.Contains(line)
 	if needCharge && !m.charge(tx.th.core, 1) {
 		if e.writer == nil {
 			s.maybeRelease(line, e)
@@ -344,7 +340,7 @@ func (tx *Tx) claimWrite(line memsim.Line) {
 		s.writers.Add(1)
 	}
 	e.writer = tx
-	tx.writeLines = append(tx.writeLines, line)
+	tx.writeLines.Add(line)
 	if needCharge {
 		tx.charged++
 	}
@@ -392,28 +388,39 @@ func (tx *Tx) Commit() {
 		tx.abortNow()
 	}
 	m := tx.th.m
-	if len(tx.writes) > 0 {
+	if tx.writes.Len() > 0 {
 		// Lock every shard covering the write set, in index order, so the
 		// write-back is atomic with respect to all directory-checking
-		// accesses.
-		idx := tx.shardScratch[:0]
-		for _, line := range tx.writeLines {
-			idx = append(idx, m.shardIndexOf(line))
+		// accesses. Marking shard indices in the pooled bitmap and then
+		// sweeping it ascending yields the sorted, deduplicated lock
+		// order without sorting or allocating; each bitmap word is
+		// cleared as it is consumed, so the scratch is clean for the next
+		// transaction no matter what.
+		marks := tx.shardMarks
+		if len(marks) == 0 {
+			marks = make([]uint64, (len(m.shards)+63)/64)
+			tx.shardMarks = marks
 		}
-		sort.Ints(idx)
-		uniq := idx[:0]
-		for i, v := range idx {
-			if i == 0 || v != idx[i-1] {
-				uniq = append(uniq, v)
+		order := tx.shardOrder[:0]
+		for _, line := range tx.writeLines.Lines() {
+			i := m.shardIndexOf(line)
+			marks[i>>6] |= 1 << (uint(i) & 63)
+		}
+		for w, word := range marks {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &^= 1 << uint(b)
+				order = append(order, int32(w<<6+b))
 			}
+			marks[w] = 0
 		}
-		for _, i := range uniq {
+		for _, i := range order {
 			m.shards[i].mu.Lock()
 		}
-		for _, w := range tx.writes {
-			m.heap.Store(w.addr, w.val)
+		for _, e := range tx.writes.Entries() {
+			m.heap.Store(e.Addr, e.Val)
 		}
-		for _, line := range tx.writeLines {
+		for _, line := range tx.writeLines.Lines() {
 			s := m.shardOf(line)
 			if e, ok := s.lines[line]; ok {
 				if e.writer == tx {
@@ -424,13 +431,13 @@ func (tx *Tx) Commit() {
 				s.maybeRelease(line, e)
 			}
 		}
-		for i := len(uniq) - 1; i >= 0; i-- {
-			m.shards[uniq[i]].mu.Unlock()
+		for i := len(order) - 1; i >= 0; i-- {
+			m.shards[order[i]].mu.Unlock()
 		}
-		tx.shardScratch = idx[:0]
+		tx.shardOrder = order
 	}
-	for _, line := range tx.readLines {
-		if tx.lineWritten(line) {
+	for _, line := range tx.readLines.Lines() {
+		if tx.writeLines.Contains(line) {
 			continue
 		}
 		s := m.shardOf(line)
@@ -443,9 +450,6 @@ func (tx *Tx) Commit() {
 	}
 	m.uncharge(tx.th.core, tx.charged)
 	tx.charged = 0
-	tx.writes = tx.writes[:0]
-	tx.writeLines = tx.writeLines[:0]
-	tx.readLines = tx.readLines[:0]
-	tx.rotReads = 0
+	tx.resetFootprint()
 	tx.status.Store(statusCommitted)
 }
