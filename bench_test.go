@@ -198,7 +198,7 @@ func BenchmarkAblationTMCAMSize(b *testing.B) {
 				sys := newBenchSystem(b, system, m, heap, threads)
 				b.ResetTimer()
 				r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
-					w := bench.NewWorker(sys, thread, uint64(3*threads+thread))
+					w := bench.NewWorker(sys, thread)
 					return w.Op
 				})
 				b.StopTimer()
@@ -227,7 +227,7 @@ func BenchmarkAblationNoROFastPath(b *testing.B) {
 			sys := sihtm.NewSystem(m, threads, sihtm.Config{DisableROFastPath: disable})
 			b.ResetTimer()
 			r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
-				w := bench.NewWorker(sys, thread, uint64(23*threads+thread))
+				w := bench.NewWorker(sys, thread)
 				return w.Op
 			})
 			b.StopTimer()
@@ -255,7 +255,7 @@ func BenchmarkAblationKillerPolicy(b *testing.B) {
 			sys := sihtm.NewSystem(m, threads, sihtm.Config{KillerSpins: killerSpins})
 			b.ResetTimer()
 			r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
-				w := bench.NewWorker(sys, thread, uint64(37*threads+thread))
+				w := bench.NewWorker(sys, thread)
 				return w.Op
 			})
 			b.StopTimer()
@@ -325,7 +325,7 @@ func BenchmarkAblationSMTPlacement(b *testing.B) {
 				sys := newBenchSystem(b, system, m, heap, threads)
 				b.ResetTimer()
 				r := harness.RunOps(sys, threads, b.N/threads+1, func(thread int) func() {
-					w, err := db.NewWorker(sys, thread, tpcc.StandardMix, uint64(41*threads+thread))
+					w, err := db.NewWorker(sys, thread, tpcc.StandardMix)
 					if err != nil {
 						panic(err)
 					}

@@ -33,7 +33,7 @@ func main() {
 		tmcam    = flag.Int("tmcam", 64, "TMCAM lines per core")
 		warmup   = flag.Duration("warmup", 200*time.Millisecond, "warm-up window")
 		measure  = flag.Duration("measure", 1*time.Second, "measurement window")
-		seed     = flag.Uint64("seed", 42, "population/workload seed")
+		seed     = flag.Uint64("seed", 42, "workload seed (per-thread op streams)")
 	)
 	flag.Parse()
 
@@ -63,7 +63,7 @@ func main() {
 
 	initial := bench.Map.Size()
 	r := harness.Run(sys, *threads, *warmup, *measure, func(thread int) func() {
-		w := bench.NewWorker(sys, thread, *seed+uint64(thread)*101)
+		w := bench.NewWorker(sys, thread)
 		return w.Op
 	})
 

@@ -85,7 +85,8 @@ bench flags:
 run flags:
   --all                     run every registry entry
   --figure=N[,M]            run a figure's panels (6..10)
-  --id=a,b                  run specific entries (see 'repro list')
+  --id=a,b                  entries, prefixes (ycsb, vacation) or groups
+                            (figures, scenarios, ablations) — see 'repro list'
   --systems=a,b             restrict to these systems (default: all of each entry)
   --scale=ci|quick|paper    scale preset (default ci)
   --shards=N                parallel (experiment × system) cells (default GOMAXPROCS)

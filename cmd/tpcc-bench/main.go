@@ -91,7 +91,7 @@ func main() {
 	}
 
 	r := harness.Run(sys, *threads, *warmup, *measure, func(thread int) func() {
-		wk, err := db.NewWorker(sys, thread, mix, *seed+uint64(thread)*97)
+		wk, err := db.NewWorker(sys, thread, mix)
 		if err != nil {
 			panic(err)
 		}

@@ -115,7 +115,7 @@ func tmcamEntry() Entry {
 				return err
 			}
 			mkWorker := func(thread int) func() {
-				w := bench.NewWorker(sys, thread, uint64(77+thread))
+				w := bench.NewWorker(sys, thread)
 				return w.Op
 			}
 			hr := harness.Run(sys, threads, sc.Warmup, sc.Measure, mkWorker)
@@ -212,7 +212,7 @@ func smtEntry() Entry {
 				return err
 			}
 			mkWorker := func(thread int) func() {
-				w, err := db.NewWorker(sys, thread, tpcc.StandardMix, uint64(55+thread))
+				w, err := db.NewWorker(sys, thread, tpcc.StandardMix)
 				if err != nil {
 					panic(err)
 				}

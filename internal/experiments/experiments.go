@@ -143,7 +143,7 @@ func HashmapSweep(id, title string, buckets, elemsPerBucket, roPercent int, syst
 				return nil, nil, nil, err
 			}
 			mkWorker := func(thread int) func() {
-				w := bench.NewWorker(sys, thread, uint64(1000*threads+thread))
+				w := bench.NewWorker(sys, thread)
 				return w.Op
 			}
 			initial := bench.Map.Size()
@@ -200,7 +200,7 @@ func TPCCSweep(id, title string, mix tpcc.Mix, lowContention bool, systems []str
 				return nil, nil, nil, err
 			}
 			mkWorker := func(thread int) func() {
-				w, err := db.NewWorker(sys, thread, mix, uint64(100*threads+thread))
+				w, err := db.NewWorker(sys, thread, mix)
 				if err != nil {
 					panic(err)
 				}
@@ -355,10 +355,11 @@ func figureEntry(id string) Entry {
 }
 
 // SweepFor returns the harness sweep behind a sweep-backed registry
-// entry (the figure panels and the sweep-shaped ablations) at the given
-// scale — the hook bench_test.go uses to drive the same Setup through
-// testing.B's op-count harness. Returns false for entries that are not
-// sweeps (capacity, tmcam, smt).
+// entry (the figure panels, the sweep-shaped ablations and the
+// thread-ladder scenarios) at the given scale — the hook bench_test.go
+// uses to drive the same Setup through testing.B's op-count harness.
+// Returns false for entries that are not sweeps (capacity, tmcam, smt,
+// zipf).
 func SweepFor(id string, sc Scale) (*harness.Sweep, bool) {
 	for _, f := range figureSpecs {
 		if f.id == id {
@@ -366,6 +367,9 @@ func SweepFor(id string, sc Scale) (*harness.Sweep, bool) {
 		}
 	}
 	if build, ok := sweepAblations[id]; ok {
+		return build(sc), true
+	}
+	if build, ok := scenarioSweeps[id]; ok {
 		return build(sc), true
 	}
 	return nil, false

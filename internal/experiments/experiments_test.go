@@ -19,8 +19,8 @@ func quickScale() Scale {
 
 func TestRegistryIsComplete(t *testing.T) {
 	entries := Registry()
-	if len(entries) != 15 { // 10 figure panels + 5 ablations
-		t.Fatalf("Registry() = %d entries, want 15", len(entries))
+	if len(entries) != 21 { // 10 figure panels + 6 scenarios + 5 ablations
+		t.Fatalf("Registry() = %d entries, want 21", len(entries))
 	}
 	seen := map[string]bool{}
 	figures := map[int]bool{}
@@ -85,14 +85,19 @@ func TestLookupAndSelect(t *testing.T) {
 		sel  string
 		want int
 	}{
-		{"all", 15},
+		{"all", 21},
 		{"figures", 10},
+		{"scenarios", 6},
 		{"ablations", 5},
 		{"fig6", 2},
 		{"6", 2},
 		{"fig9-low", 1},
 		{"capacity", 1},
+		{"ycsb", 3},
+		{"vacation", 2},
+		{"zipf", 1},
 		{"fig6,fig9-low,capacity", 4},
+		{"ycsb,vacation,zipf", 6},
 	}
 	for _, c := range cases {
 		got, err := Select(c.sel)
@@ -174,7 +179,9 @@ func TestRunCellRejectsUnknownSystem(t *testing.T) {
 }
 
 func TestSweepForCoversSweepEntries(t *testing.T) {
-	for _, id := range append(append([]string{}, FigureOrder...), "rofast", "killer") {
+	ids := append(append([]string{}, FigureOrder...), "rofast", "killer",
+		"ycsb-a", "ycsb-b", "ycsb-c", "vacation-low", "vacation-high")
+	for _, id := range ids {
 		s, ok := SweepFor(id, quickScale())
 		if !ok || s == nil {
 			t.Errorf("SweepFor(%q) missing", id)
@@ -184,8 +191,10 @@ func TestSweepForCoversSweepEntries(t *testing.T) {
 			t.Errorf("SweepFor(%q) malformed: %+v", id, s)
 		}
 	}
-	if _, ok := SweepFor("capacity", quickScale()); ok {
-		t.Error("capacity is not sweep-backed; SweepFor returned one")
+	for _, id := range []string{"capacity", "zipf"} {
+		if _, ok := SweepFor(id, quickScale()); ok {
+			t.Errorf("%s is not sweep-backed; SweepFor returned one", id)
+		}
 	}
 }
 
@@ -260,6 +269,44 @@ func TestMiniatureFigureRuns(t *testing.T) {
 				t.Errorf("markdown rendering lost systems:\n%s", b.String())
 			}
 		})
+	}
+}
+
+// The Zipfian-θ sweep must show capacity aborts varying with skew:
+// under the uniform extreme plain HTM's batched transactions overflow
+// the TMCAM, and growing skew concentrates the footprint onto hot
+// chains until it fits — so HTM's capacity-abort rate at θ=0 must sit
+// clearly above its rate at θ=0.99, while SI-HTM stays flat at zero.
+func TestZipfSkewShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep run takes a few seconds")
+	}
+	e, ok := Lookup("zipf")
+	if !ok {
+		t.Fatal("zipf entry missing")
+	}
+	recs, err := e.Run(quickScale(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capRate := map[string]map[string]float64{}
+	for _, r := range recs {
+		if capRate[r.System] == nil {
+			capRate[r.System] = map[string]float64{}
+		}
+		capRate[r.System][r.Param] = r.AbortPercent(r.AbortsCapacity)
+	}
+	uniform, skewed := capRate["htm"]["theta=0.00"], capRate["htm"]["theta=0.99"]
+	if uniform < 10 {
+		t.Errorf("htm capacity-abort rate at theta=0 is %.1f%%, want the uniform extreme above the cliff", uniform)
+	}
+	if skewed >= uniform {
+		t.Errorf("htm capacity-abort rate did not fall with skew: theta=0 %.1f%% vs theta=0.99 %.1f%%", uniform, skewed)
+	}
+	for param, rate := range capRate["si-htm"] {
+		if rate != 0 {
+			t.Errorf("si-htm capacity-abort rate at %s is %.1f%%, want 0", param, rate)
+		}
 	}
 }
 

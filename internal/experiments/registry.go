@@ -91,9 +91,11 @@ func (e Entry) record(param string, hr harness.Result) results.Record {
 }
 
 // registryIDs is the presentation order of the whole registry: figures
-// first, then ablations A1..A5. Registry() builds entries in this order
-// and records carry the rank so reports render in it too.
-var registryIDs = append(append([]string{}, FigureOrder...),
+// first, then the workload-engine scenarios (YCSB, the Zipfian-θ sweep,
+// vacation), then ablations A1..A5. Registry() builds entries in this
+// order and records carry the rank so reports render in it too.
+var registryIDs = append(append(append([]string{}, FigureOrder...),
+	"ycsb-a", "ycsb-b", "ycsb-c", "zipf", "vacation-low", "vacation-high"),
 	"capacity", "tmcam", "rofast", "killer", "smt")
 
 // registryRank maps entry id → presentation rank.
@@ -106,13 +108,14 @@ var registryRank = func() map[string]int {
 }()
 
 // Registry returns every experiment, figures first in presentation
-// order, then ablations. The slice is freshly built; callers may modify
-// their copy.
+// order, then the workload scenarios, then ablations. The slice is
+// freshly built; callers may modify their copy.
 func Registry() []Entry {
-	entries := make([]Entry, 0, len(FigureOrder)+5)
+	entries := make([]Entry, 0, len(registryIDs))
 	for _, id := range FigureOrder {
 		entries = append(entries, figureEntry(id))
 	}
+	entries = append(entries, scenarioEntries()...)
 	entries = append(entries,
 		capacityEntry(),
 		tmcamEntry(),
@@ -137,8 +140,10 @@ func Lookup(id string) (Entry, bool) {
 //
 //	"all"               every entry
 //	"figures"           every figN-* entry
-//	"ablations"         every non-figure entry
+//	"scenarios"         the workload-engine entries (ycsb-*, zipf, vacation-*)
+//	"ablations"         every non-figure, non-scenario entry
 //	"fig6" / "6"        both panels of one figure
+//	"ycsb" / "vacation" every entry of the prefix
 //	"fig6-low"          a single entry
 //	"a,b,c"             union of selectors
 func Select(selector string) ([]Entry, error) {
@@ -157,7 +162,8 @@ func Select(selector string) ([]Entry, error) {
 			switch {
 			case sel == "all",
 				sel == "figures" && e.Figure > 0,
-				sel == "ablations" && e.Figure == 0,
+				sel == "scenarios" && scenarioWorkloads[e.Workload],
+				sel == "ablations" && e.Figure == 0 && !scenarioWorkloads[e.Workload],
 				sel == e.ID,
 				strings.HasPrefix(e.ID, sel+"-"):
 				want[e.ID] = true

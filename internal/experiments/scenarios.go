@@ -1,0 +1,350 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sihtm/internal/harness"
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/results"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/engine"
+	"sihtm/internal/workload/vacation"
+	"sihtm/internal/workload/ycsb"
+)
+
+// The scenario entries are the workload-engine additions to the paper's
+// figures: YCSB-style KV mixes (over both engine backends), the
+// vacation travel-reservation application, and the Zipfian-θ sweep that
+// shows how capacity aborts depend on access skew. They compare the
+// systems the capacity argument is about — plain HTM, SI-HTM's ROTs and
+// the serial SGL floor.
+var scenarioSystems = []string{"htm", "si-htm", "sgl"}
+
+// scenarioWorkloads marks the workload families that count as scenarios
+// (not ablations) for selectors.
+var scenarioWorkloads = map[string]bool{"ycsb": true, "vacation": true}
+
+// scaledKeys shrinks a base keyspace by the scale's divisor, keeping a
+// floor so chains/trees stay non-degenerate.
+func scaledKeys(base int, sc Scale, floor int) int {
+	n := base / sc.WorkloadDiv
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// ycsbSpec declares one YCSB registry entry.
+type ycsbSpec struct {
+	id, title string
+	workload  ycsb.Workload
+	backend   string // "hashmap" or "btree"
+	baseKeys  int
+	chain     int // hashmap: target chain length (buckets = keys/chain)
+	opsPerTx  int
+}
+
+var ycsbSpecs = []ycsbSpec{
+	{id: "ycsb-a", workload: ycsb.A, backend: "hashmap", baseKeys: 8192, chain: 8, opsPerTx: 8,
+		title: "YCSB-A: update-heavy 50r/50rmw, zipf(0.99), hash-map backend"},
+	{id: "ycsb-b", workload: ycsb.B, backend: "hashmap", baseKeys: 8192, chain: 8, opsPerTx: 8,
+		title: "YCSB-B: read-mostly 95r/5rmw, zipf(0.99), hash-map backend"},
+	{id: "ycsb-c", workload: ycsb.C, backend: "btree", baseKeys: 16384, opsPerTx: 8,
+		title: "YCSB-C: read-only 90r/10scan, zipf(0.99), B+tree index backend"},
+}
+
+// buildYCSB constructs the workload of one (spec × threads) point.
+func (y ycsbSpec) build(sc Scale, threads int) (*htm.Machine, engine.Backend, *engine.Driver, error) {
+	keys := scaledKeys(y.baseKeys, sc, 128)
+	spec, err := ycsb.Spec(ycsb.Config{
+		Workload: y.workload,
+		Keys:     keys,
+		OpsPerTx: y.opsPerTx,
+		Seed:     uint64(threads)*19 + 5,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var (
+		heap    *memsim.Heap
+		backend engine.Backend
+	)
+	if y.backend == "btree" {
+		heap = memsim.NewHeapLines(engine.BTreeHeapLines(spec))
+		backend = engine.NewBTreeBackend(heap)
+	} else {
+		buckets := keys / y.chain
+		if buckets < 1 {
+			buckets = 1
+		}
+		heap = memsim.NewHeapLines(engine.HashmapHeapLines(spec, buckets))
+		backend = engine.NewHashmapBackend(heap, buckets)
+	}
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+	engine.Populate(backend, spec)
+	d, err := engine.New(spec, backend)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return m, backend, d, nil
+}
+
+// engineCheck verifies a backend after a run: structural invariants
+// plus exact population conservation for insert/delete-free mixes (all
+// the YCSB mixes only read and overwrite, so the key count must not
+// move).
+func engineCheck(backend engine.Backend, keys int) error {
+	if err := backend.Check(); err != nil {
+		return err
+	}
+	var got int
+	switch b := backend.(type) {
+	case *engine.HashmapBackend:
+		got = b.Map().Size()
+	case *engine.BTreeBackend:
+		got = b.Tree().Count(b.Direct())
+	default:
+		return nil
+	}
+	if got != keys {
+		return fmt.Errorf("population drifted: %d keys, want %d", got, keys)
+	}
+	return nil
+}
+
+// ycsbSweep builds the thread-ladder sweep of one YCSB entry.
+func ycsbSweep(y ycsbSpec, sc Scale) *harness.Sweep {
+	sc = sc.withDefaults()
+	return &harness.Sweep{
+		ID:           y.id,
+		Title:        y.title,
+		Systems:      scenarioSystems,
+		ThreadCounts: sc.threads(topology.PaperThreadLadder),
+		Warmup:       sc.Warmup,
+		Measure:      sc.Measure,
+		Setup: func(system string, threads int) (tm.System, func(int) func(), func() error, error) {
+			m, backend, d, err := y.build(sc, threads)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			heap := m.Heap()
+			sys, err := NewSystem(system, m, heap, threads)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			keys := d.Spec().Keys
+			check := func() error { return engineCheck(backend, keys) }
+			return sys, d.Workers(sys), check, nil
+		},
+	}
+}
+
+// ycsbEntry builds the registry entry for one YCSB spec.
+func ycsbEntry(y ycsbSpec) Entry {
+	spec, err := ycsb.Spec(ycsb.Config{Workload: y.workload, Keys: y.baseKeys, OpsPerTx: y.opsPerTx})
+	if err != nil {
+		panic(err)
+	}
+	e := Entry{
+		ID:           y.id,
+		Title:        y.title,
+		Workload:     "ycsb",
+		Systems:      scenarioSystems,
+		ThreadLadder: topology.PaperThreadLadder,
+		Params:       fmt.Sprintf("%s backend=%s", spec.Params(), y.backend),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		_, err := ycsbSweep(y, sc).ExecuteSystem(system, func(_ string, hr harness.Result) {
+			hook(e.record("", hr))
+		})
+		return err
+	}
+	return e
+}
+
+// vacationSpec declares one vacation registry entry.
+type vacationSpec struct {
+	id, title                    string
+	queryN, rangePct             int
+	browse, reserve, del, upd    int
+	baseRelations, baseCustomers int
+}
+
+var vacationSpecs = []vacationSpec{
+	{id: "vacation-low", queryN: 2, rangePct: 90,
+		browse: 50, reserve: 40, del: 5, upd: 5,
+		baseRelations: 2048, baseCustomers: 512,
+		title: "Vacation (low contention): 2-item tasks over 90% of the tables"},
+	{id: "vacation-high", queryN: 8, rangePct: 10,
+		browse: 30, reserve: 60, del: 5, upd: 5,
+		baseRelations: 2048, baseCustomers: 256,
+		title: "Vacation (high contention): 8-item tasks over 10% of the tables"},
+}
+
+// config builds the scaled vacation configuration of one point.
+func (v vacationSpec) config(sc Scale, threads int) vacation.Config {
+	return vacation.Config{
+		Relations:         scaledKeys(v.baseRelations, sc, 64),
+		Customers:         scaledKeys(v.baseCustomers, sc, 16),
+		QueryN:            v.queryN,
+		QueryRangePct:     v.rangePct,
+		BrowsePct:         v.browse,
+		ReservePct:        v.reserve,
+		DeleteCustomerPct: v.del,
+		UpdateTablesPct:   v.upd,
+		Seed:              uint64(threads)*23 + 9,
+	}
+}
+
+// vacationSweep builds the thread-ladder sweep of one vacation entry.
+func vacationSweep(v vacationSpec, sc Scale) *harness.Sweep {
+	sc = sc.withDefaults()
+	return &harness.Sweep{
+		ID:           v.id,
+		Title:        v.title,
+		Systems:      scenarioSystems,
+		ThreadCounts: sc.threads(topology.PaperThreadLadder),
+		Warmup:       sc.Warmup,
+		Measure:      sc.Measure,
+		Setup: func(system string, threads int) (tm.System, func(int) func(), func() error, error) {
+			cfg := v.config(sc, threads)
+			heap := memsim.NewHeapLines(cfg.HeapLinesNeeded())
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+			mgr, err := vacation.NewManager(heap, cfg)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			sys, err := NewSystem(system, m, heap, threads)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			mkWorker := func(thread int) func() {
+				w, err := mgr.NewWorker(sys, thread)
+				if err != nil {
+					panic(err)
+				}
+				return func() { w.Op() }
+			}
+			return sys, mkWorker, mgr.CheckConsistency, nil
+		},
+	}
+}
+
+// vacationEntry builds the registry entry for one vacation spec.
+func vacationEntry(v vacationSpec) Entry {
+	e := Entry{
+		ID:           v.id,
+		Title:        v.title,
+		Workload:     "vacation",
+		Systems:      scenarioSystems,
+		ThreadLadder: topology.PaperThreadLadder,
+		Params: fmt.Sprintf("relations=%d customers=%d queryN=%d range=%d%% mix=%d/%d/%d/%d",
+			v.baseRelations, v.baseCustomers, v.queryN, v.rangePct, v.browse, v.reserve, v.del, v.upd),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		_, err := vacationSweep(v, sc).ExecuteSystem(system, func(_ string, hr harness.Result) {
+			hook(e.record("", hr))
+		})
+		return err
+	}
+	return e
+}
+
+// zipfThetas is the skew x-axis of the Zipfian sweep.
+var zipfThetas = []float64{0, 0.4, 0.7, 0.9, 0.99}
+
+// zipfEntry is the Zipfian-θ capacity sweep: the YCSB-B mix batched
+// into 16-op transactions over hash-map chains of ~8 nodes, at a fixed
+// thread count, across growing skew. Under the uniform extreme a
+// transaction touches ~16 distinct chains (≈80+ lines ≫ the 64-line
+// TMCAM) and plain HTM lives above the capacity cliff; at θ = 0.99 the
+// draws concentrate on few hot chains, the distinct-line footprint
+// falls below the TMCAM and the capacity-abort rate falls with it,
+// while SI-HTM stays flat throughout (read-only batches are
+// uninstrumented and ROT reads untracked).
+func zipfEntry() Entry {
+	const (
+		threads  = 8
+		baseKeys = 4096
+		chain    = 8
+		opsPerTx = 16
+	)
+	e := Entry{
+		ID:       "zipf",
+		Title:    "Zipfian-θ sweep: capacity-abort rate vs access skew (YCSB-B, 16 ops/tx, 8 threads)",
+		Workload: "ycsb",
+		Systems:  scenarioSystems,
+		Params:   fmt.Sprintf("theta=%v keys=%d chain=%d ops/tx=%d threads=%d", zipfThetas, baseKeys, chain, opsPerTx, threads),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		n := threads
+		if sc.MaxThreads > 0 && n > sc.MaxThreads {
+			n = sc.MaxThreads
+		}
+		for _, theta := range zipfThetas {
+			keys := scaledKeys(baseKeys, sc, 128)
+			spec, err := ycsb.Spec(ycsb.Config{
+				Workload: ycsb.B,
+				Keys:     keys,
+				Theta:    theta,
+				// Theta 0 must stay uniform rather than defaulting.
+				UniformKeys: theta == 0,
+				OpsPerTx:    opsPerTx,
+				Seed:        31,
+			})
+			if err != nil {
+				return err
+			}
+			buckets := keys / chain
+			heap := memsim.NewHeapLines(engine.HashmapHeapLines(spec, buckets))
+			m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+			backend := engine.NewHashmapBackend(heap, buckets)
+			engine.Populate(backend, spec)
+			d, err := engine.New(spec, backend)
+			if err != nil {
+				return err
+			}
+			sys, err := NewSystem(system, m, heap, n)
+			if err != nil {
+				return err
+			}
+			hr := harness.Run(sys, n, sc.Warmup, sc.Measure, d.Workers(sys))
+			if err := engineCheck(backend, keys); err != nil {
+				return fmt.Errorf("zipf %s/theta=%.2f: %w", system, theta, err)
+			}
+			hook(e.record(fmt.Sprintf("theta=%.2f", theta), hr))
+		}
+		return nil
+	}
+	return e
+}
+
+// scenarioEntries builds all scenario entries in presentation order.
+func scenarioEntries() []Entry {
+	entries := make([]Entry, 0, len(ycsbSpecs)+len(vacationSpecs)+1)
+	for _, y := range ycsbSpecs {
+		entries = append(entries, ycsbEntry(y))
+	}
+	entries = append(entries, zipfEntry())
+	for _, v := range vacationSpecs {
+		entries = append(entries, vacationEntry(v))
+	}
+	return entries
+}
+
+// scenarioSweeps serves SweepFor for the sweep-backed scenario entries.
+var scenarioSweeps = func() map[string]func(Scale) *harness.Sweep {
+	m := map[string]func(Scale) *harness.Sweep{}
+	for _, y := range ycsbSpecs {
+		y := y
+		m[y.id] = func(sc Scale) *harness.Sweep { return ycsbSweep(y, sc) }
+	}
+	for _, v := range vacationSpecs {
+		v := v
+		m[v.id] = func(sc Scale) *harness.Sweep { return vacationSweep(v, sc) }
+	}
+	return m
+}()

@@ -35,6 +35,26 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// Stream returns the generator for one named stream of a seeded run:
+// every workload derives its per-thread generators as
+// Stream(cfg.Seed, thread), so a single configuration seed reproduces
+// the whole run and distinct streams — even sequential ones — are
+// decorrelated by an extra splitmix64 mixing pass over (seed, stream).
+//
+// Stream ids are a per-seed namespace. By convention, worker threads use
+// their small thread index and setup-time population uses
+// StreamPopulate, so loading and execution never share a stream.
+func Stream(seed, stream uint64) *Rand {
+	z := seed + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return New(z ^ (z >> 31))
+}
+
+// StreamPopulate is the reserved stream id for initial-population
+// generators (see Stream).
+const StreamPopulate uint64 = 0x706f70756c617465 // "populate"
+
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
 // Uint64 returns the next 64 random bits.

@@ -27,6 +27,38 @@ func TestDistinctSeedsDiverge(t *testing.T) {
 	}
 }
 
+func TestStreamDeterminism(t *testing.T) {
+	a, b := Stream(42, 3), Stream(42, 3)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same (seed, stream) diverged at draw %d", i)
+		}
+	}
+}
+
+// Sequential stream ids of one seed, and the same stream id under
+// different seeds, must all be decorrelated.
+func TestStreamsDecorrelated(t *testing.T) {
+	pairs := [][2]*Rand{
+		{Stream(42, 0), Stream(42, 1)},
+		{Stream(42, 1), Stream(42, 2)},
+		{Stream(1, 7), Stream(2, 7)},
+		{Stream(42, 0), Stream(42, StreamPopulate)},
+		{Stream(42, 5), New(42)},
+	}
+	for pi, p := range pairs {
+		same := 0
+		for i := 0; i < 100; i++ {
+			if p[0].Uint64() == p[1].Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Fatalf("pair %d agreed on %d/100 draws", pi, same)
+		}
+	}
+}
+
 func TestIntnBounds(t *testing.T) {
 	r := New(7)
 	for i := 0; i < 10000; i++ {

@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"sihtm/internal/memsim"
+	"sihtm/internal/tm"
+)
+
+// Backend is a transactional key-value substrate the engine can drive:
+// an adapter giving a data structure the uniform read / upsert / delete
+// / scan vocabulary of the op mix. Backends are shared across threads;
+// all per-thread state (node pools, recycling lists) lives in Sessions.
+type Backend interface {
+	// Name tags the backend in registry params ("hashmap", "btree").
+	Name() string
+	// NewSession creates one thread's access handle.
+	NewSession() Session
+	// Direct returns a tm.Ops over raw heap accesses for quiescent
+	// setup (Populate) and verification.
+	Direct() tm.Ops
+	// Check verifies the backend's structural invariants quiescently
+	// (harness post-run check).
+	Check() error
+}
+
+// Session is one thread's view of a Backend. The driver's protocol per
+// transaction:
+//
+//	Prepare(inserts)  outside the transaction — top up node pools for
+//	                  at most `inserts` key-creating ops
+//	Reset()           at the top of the transaction body; aborted
+//	                  attempts re-enter here, so it must rewind any
+//	                  state the previous attempt consumed
+//	Read/Insert/...   inside the body, in planned order
+//	Commit()          after the transaction committed — permanently
+//	                  consume used pool nodes and recycle deleted ones
+type Session interface {
+	Prepare(inserts int)
+	Reset()
+	// Read returns the value under key.
+	Read(ops tm.Ops, key uint64) (uint64, bool)
+	// Insert upserts key, reporting whether it was new.
+	Insert(ops tm.Ops, key, value uint64) bool
+	// Delete removes key, reporting whether it was present.
+	Delete(ops tm.Ops, key uint64) bool
+	// Scan visits up to n entries from key onward, returning how many
+	// it saw. On unordered backends this degenerates to n point reads
+	// of consecutive keys.
+	Scan(ops tm.Ops, key uint64, n int) int
+	Commit()
+}
+
+// DirectOps adapts raw heap accesses to tm.Ops: the quiescent access
+// path of Populate and of verification walks.
+type DirectOps struct{ Heap *memsim.Heap }
+
+// Read implements tm.Ops.
+func (o DirectOps) Read(a memsim.Addr) uint64 { return o.Heap.Load(a) }
+
+// Write implements tm.Ops.
+func (o DirectOps) Write(a memsim.Addr, v uint64) { o.Heap.Store(a, v) }

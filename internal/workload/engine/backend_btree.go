@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"fmt"
+
+	"sihtm/internal/index/btree"
+	"sihtm/internal/memsim"
+	"sihtm/internal/tm"
+)
+
+// BTreeBackend drives the transactional B+tree index (ordered; scans
+// stream the leaf chain at ~2 cache lines per 14 entries).
+type BTreeBackend struct {
+	heap *memsim.Heap
+	t    *btree.Tree
+}
+
+// NewBTreeBackend builds an empty tree on heap.
+func NewBTreeBackend(heap *memsim.Heap) *BTreeBackend {
+	return &BTreeBackend{heap: heap, t: btree.New(heap)}
+}
+
+// BTreeHeapLines estimates the heap a spec needs on this backend: ~2
+// lines per node at half-full leaves, internal overhead, split churn and
+// per-worker pools.
+func BTreeHeapLines(spec Spec) int {
+	return spec.Keys/2 + 1<<14
+}
+
+// Name implements Backend.
+func (b *BTreeBackend) Name() string { return "btree" }
+
+// Tree exposes the underlying index for scenario-level checks.
+func (b *BTreeBackend) Tree() *btree.Tree { return b.t }
+
+// Direct implements Backend.
+func (b *BTreeBackend) Direct() tm.Ops { return DirectOps{Heap: b.heap} }
+
+// Check implements Backend: the tree's structural invariants.
+func (b *BTreeBackend) Check() error {
+	if err := b.t.CheckInvariants(); err != nil {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return nil
+}
+
+// NewSession implements Backend.
+func (b *BTreeBackend) NewSession() Session {
+	return &btreeSession{b: b, pool: btree.NewPool(b.heap)}
+}
+
+// btreeSession wraps the tree's cursor-based node pool in the Session
+// protocol: Prepare refills for the worst-case split chains of the
+// planned inserts, Reset rewinds the cursor for retries, Commit consumes
+// what the committed attempt used.
+type btreeSession struct {
+	b    *BTreeBackend
+	pool *btree.Pool
+}
+
+func (s *btreeSession) Prepare(inserts int) {
+	s.pool.Refill(inserts * btree.RecommendedPoolSize())
+}
+
+func (s *btreeSession) Reset() { s.pool.Reset() }
+
+func (s *btreeSession) Read(ops tm.Ops, key uint64) (uint64, bool) {
+	return s.b.t.Lookup(ops, key)
+}
+
+func (s *btreeSession) Insert(ops tm.Ops, key, value uint64) bool {
+	return s.b.t.Insert(ops, key, value, s.pool)
+}
+
+func (s *btreeSession) Delete(ops tm.Ops, key uint64) bool {
+	return s.b.t.Delete(ops, key)
+}
+
+func (s *btreeSession) Scan(ops tm.Ops, key uint64, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	seen := 0
+	s.b.t.RangeScan(ops, key, ^uint64(0), func(uint64, uint64) bool {
+		seen++
+		return seen < n
+	})
+	return seen
+}
+
+func (s *btreeSession) Commit() { s.pool.Commit() }

@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"sihtm/internal/rng"
+)
+
+// KeyDraw draws keys in [0, n) according to a Dist. Implementations are
+// immutable after construction and safe to share across workers; all
+// entropy comes from the caller's generator, so draws stay per-thread
+// deterministic. Exported so scenario packages built on the engine
+// (internal/workload/vacation) share the same distribution machinery.
+type KeyDraw interface {
+	Draw(r *rng.Rand) uint64
+}
+
+// Check validates the distribution's parameters without building a
+// sampler (Spec.Validate uses it to avoid paying the Zipfian CDF
+// construction twice).
+func (d Dist) Check() error {
+	switch d.Kind {
+	case DistUniform:
+		return nil
+	case DistZipfian:
+		if d.Theta != 0 && (d.Theta < 0 || d.Theta >= 1) {
+			return fmt.Errorf("engine: zipfian theta must be in [0, 1), got %v", d.Theta)
+		}
+		return nil
+	case DistHotSet:
+		if d.HotKeysPercent <= 0 || d.HotKeysPercent >= 100 ||
+			d.HotOpsPercent < 0 || d.HotOpsPercent > 100 {
+			return fmt.Errorf("engine: hotset wants 0 < keys%% < 100 and 0 <= ops%% <= 100, got %d/%d",
+				d.HotKeysPercent, d.HotOpsPercent)
+		}
+		return nil
+	default:
+		return fmt.Errorf("engine: unknown distribution kind %d", int(d.Kind))
+	}
+}
+
+// NewKeyDraw builds the sampler for a distribution over [0, n).
+func NewKeyDraw(d Dist, n int) (KeyDraw, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("engine: distribution needs a positive keyspace, got %d", n)
+	}
+	if err := d.Check(); err != nil {
+		return nil, err
+	}
+	switch d.Kind {
+	case DistZipfian:
+		if d.Theta == 0 {
+			return uniformDist{n: uint64(n)}, nil
+		}
+		return newZipf(n, d.Theta), nil
+	case DistHotSet:
+		hot := uint64(n) * uint64(d.HotKeysPercent) / 100
+		if hot == 0 {
+			hot = 1
+		}
+		return hotSetDist{hot: hot, n: uint64(n), hotOps: d.HotOpsPercent}, nil
+	default:
+		return uniformDist{n: uint64(n)}, nil
+	}
+}
+
+type uniformDist struct{ n uint64 }
+
+func (u uniformDist) Draw(r *rng.Rand) uint64 { return r.Uint64() % u.n }
+
+// hotSetDist sends hotOps% of draws to [0, hot), the rest to [hot, n).
+type hotSetDist struct {
+	hot, n uint64
+	hotOps int
+}
+
+func (h hotSetDist) Draw(r *rng.Rand) uint64 {
+	if r.Bool(h.hotOps) || h.hot >= h.n {
+		return r.Uint64() % h.hot
+	}
+	return h.hot + r.Uint64()%(h.n-h.hot)
+}
+
+// zipfDist draws rank k in [0, n) with probability
+// 1 / ((k+1)^θ · ζ(n, θ)) — the YCSB zipfian popularity law with rank 0
+// the hottest key — by exact inversion of the precomputed CDF (YCSB's
+// closed-form approximation misstates mid-rank masses by >10%, which
+// would fail any honest distribution test). Construction is O(n); a
+// draw is one uniform variate plus an O(log n) binary search.
+type zipfDist struct {
+	n     uint64
+	theta float64
+	zetan float64
+	cum   []float64 // cum[k] = P(rank <= k)
+}
+
+func newZipf(n int, theta float64) *zipfDist {
+	zetan := 0.0
+	for i := 1; i <= n; i++ {
+		zetan += 1 / math.Pow(float64(i), theta)
+	}
+	z := &zipfDist{n: uint64(n), theta: theta, zetan: zetan, cum: make([]float64, n)}
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += 1 / (math.Pow(float64(k+1), theta) * zetan)
+		z.cum[k] = acc
+	}
+	z.cum[n-1] = 1 // absorb accumulated rounding
+	return z
+}
+
+func (z *zipfDist) Draw(r *rng.Rand) uint64 {
+	u := r.Float64()
+	// First rank with cum[k] > u.
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] > u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return uint64(lo)
+}
+
+// RankProbability returns the theoretical probability of rank k — the
+// oracle the distribution-sanity tests compare empirical frequencies
+// against.
+func (z *zipfDist) RankProbability(k uint64) float64 {
+	return 1 / (math.Pow(float64(k+1), z.theta) * z.zetan)
+}

@@ -1,0 +1,139 @@
+package engine
+
+import (
+	"math"
+	"testing"
+
+	"sihtm/internal/rng"
+)
+
+// Zipfian empirical frequencies must match the theoretical
+// 1/((k+1)^θ·ζ(n,θ)) law: the hot ranks within a few percent relative,
+// and the aggregate deviation (total-variation distance) small.
+func TestZipfMatchesTheory(t *testing.T) {
+	const (
+		n     = 1000
+		draws = 400000
+	)
+	for _, theta := range []float64{0.5, 0.9, 0.99} {
+		kd, err := NewKeyDraw(Dist{Kind: DistZipfian, Theta: theta}, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		z := kd.(*zipfDist)
+		r := rng.New(1)
+		counts := make([]int, n)
+		for i := 0; i < draws; i++ {
+			counts[kd.Draw(r)]++
+		}
+		// Hot ranks: relative error within 5% (rank 10 still collects
+		// thousands of samples at these θ).
+		for k := uint64(0); k < 10; k++ {
+			want := z.RankProbability(k)
+			got := float64(counts[k]) / draws
+			if rel := math.Abs(got-want) / want; rel > 0.05 {
+				t.Errorf("θ=%v rank %d: empirical %.5f vs theory %.5f (rel %.3f)",
+					theta, k, got, want, rel)
+			}
+		}
+		// Whole distribution: total-variation distance below 2%.
+		tv := 0.0
+		for k := 0; k < n; k++ {
+			tv += math.Abs(float64(counts[k])/draws - z.RankProbability(uint64(k)))
+		}
+		tv /= 2
+		if tv > 0.02 {
+			t.Errorf("θ=%v: total-variation distance %.4f > 0.02", theta, tv)
+		}
+		// Rank probabilities must sum to ~1 (the oracle itself).
+		sum := 0.0
+		for k := 0; k < n; k++ {
+			sum += z.RankProbability(uint64(k))
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("θ=%v: Σ RankProbability = %v", theta, sum)
+		}
+	}
+}
+
+// θ=0 must degenerate to uniform, and all draws must stay in range for
+// every distribution.
+func TestDistRangesAndUniformity(t *testing.T) {
+	const n = 64
+	dists := []Dist{
+		{Kind: DistUniform},
+		{Kind: DistZipfian, Theta: 0},
+		{Kind: DistZipfian, Theta: 0.99},
+		{Kind: DistHotSet, HotKeysPercent: 10, HotOpsPercent: 90},
+	}
+	for _, d := range dists {
+		kd, err := NewKeyDraw(d, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(9)
+		for i := 0; i < 100000; i++ {
+			if k := kd.Draw(r); k >= n {
+				t.Fatalf("%s: draw %d out of range", d, k)
+			}
+		}
+	}
+
+	// Uniform: every key within 10% of the mean.
+	kd, _ := NewKeyDraw(Dist{Kind: DistZipfian, Theta: 0}, n)
+	if _, ok := kd.(uniformDist); !ok {
+		t.Fatalf("θ=0 did not degenerate to uniform: %T", kd)
+	}
+	r := rng.New(5)
+	counts := make([]int, n)
+	const draws = 640000
+	for i := 0; i < draws; i++ {
+		counts[kd.Draw(r)]++
+	}
+	mean := float64(draws) / n
+	for k, c := range counts {
+		if math.Abs(float64(c)-mean)/mean > 0.1 {
+			t.Errorf("uniform key %d count %d vs mean %.0f", k, c, mean)
+		}
+	}
+}
+
+// Hot-set: the hot fraction of draws must land in the hot key range.
+func TestHotSetSkew(t *testing.T) {
+	const n = 1000
+	kd, err := NewKeyDraw(Dist{Kind: DistHotSet, HotKeysPercent: 10, HotOpsPercent: 80}, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	hot := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		if kd.Draw(r) < n/10 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if frac < 0.77 || frac > 0.83 {
+		t.Fatalf("hot fraction %.3f, want ≈0.80", frac)
+	}
+}
+
+// Zipfian must be monotone: hotter ranks must not be rarer than colder
+// ones by more than noise.
+func TestZipfMonotone(t *testing.T) {
+	kd, err := NewKeyDraw(Dist{Kind: DistZipfian, Theta: 0.99}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	counts := make([]int, 100)
+	for i := 0; i < 200000; i++ {
+		counts[kd.Draw(r)]++
+	}
+	for k := 0; k < 9; k++ {
+		if counts[k] < counts[k+1] {
+			t.Errorf("rank %d (%d draws) colder than rank %d (%d)", k, counts[k], k+1, counts[k+1])
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package engine
+
+import "sihtm/internal/memsim"
+
+// LinePool manages single-cache-line nodes with the cursor-based
+// recycling protocol the workloads share: spares are allocated outside
+// transactions (Prepare); an attempt consumes them through the cursor
+// (Peek/Consume or Take) and records the nodes it unlinked (Release);
+// aborted attempts rewind with Reset and reuse the very same nodes
+// (their tentative contents were never published); Commit permanently
+// consumes the committed attempt's takes and recycles its releases.
+// Used by the hash-map backend session and the vacation workers.
+type LinePool struct {
+	heap     *memsim.Heap
+	spares   []memsim.Addr
+	cursor   int
+	released []memsim.Addr
+}
+
+// NewLinePool creates a pool over heap.
+func NewLinePool(heap *memsim.Heap) *LinePool { return &LinePool{heap: heap} }
+
+// Prepare tops the spare list up to n nodes. Call only outside
+// transactions (heap allocation is not transactional).
+func (p *LinePool) Prepare(n int) {
+	for len(p.spares) < n {
+		p.spares = append(p.spares, p.heap.AllocLine())
+	}
+}
+
+// Reset rewinds the attempt state; call at the top of each transaction
+// body so retried attempts replay over the same nodes.
+func (p *LinePool) Reset() {
+	p.cursor = 0
+	p.released = p.released[:0]
+}
+
+// Peek returns the next spare without consuming it. Running dry
+// mid-transaction panics, pointing at an undersized Prepare.
+func (p *LinePool) Peek() memsim.Addr {
+	if p.cursor >= len(p.spares) {
+		panic("engine: line pool exhausted inside a transaction; Prepare undersized")
+	}
+	return p.spares[p.cursor]
+}
+
+// Consume advances past the node Peek returned.
+func (p *LinePool) Consume() { p.cursor++ }
+
+// Take consumes and returns the next spare.
+func (p *LinePool) Take() memsim.Addr {
+	n := p.Peek()
+	p.Consume()
+	return n
+}
+
+// Release records a node the attempt unlinked, to be recycled at
+// Commit.
+func (p *LinePool) Release(a memsim.Addr) { p.released = append(p.released, a) }
+
+// Commit consumes the nodes the committed attempt took and recycles the
+// ones it released; call after the transaction committed.
+func (p *LinePool) Commit() {
+	p.spares = p.spares[:copy(p.spares, p.spares[p.cursor:])]
+	p.spares = append(p.spares, p.released...)
+	p.cursor = 0
+	p.released = p.released[:0]
+}

@@ -181,7 +181,9 @@ type BenchConfig struct {
 	ElementsPerBucket int
 	// ReadOnlyPercent is the share of lookup transactions: 90 or 50.
 	ReadOnlyPercent int
-	// Seed makes the initial population deterministic.
+	// Seed derives every worker's per-thread op stream (rng.Stream);
+	// the initial population is deterministic regardless (even keys
+	// present, odd keys absent).
 	Seed uint64
 }
 
@@ -246,9 +248,12 @@ type Worker struct {
 	haveInsert bool
 }
 
-// NewWorker creates the per-thread driver.
-func (b *Benchmark) NewWorker(sys tm.System, thread int, seed uint64) *Worker {
-	return &Worker{b: b, sys: sys, thread: thread, r: rng.New(seed)}
+// NewWorker creates the per-thread driver. Its generator is thread's
+// stream of the benchmark seed (rng.Stream), so one BenchConfig.Seed
+// reproduces every worker's key/op sequence — the same derivation
+// every workload in the repository uses.
+func (b *Benchmark) NewWorker(sys tm.System, thread int) *Worker {
+	return &Worker{b: b, sys: sys, thread: thread, r: rng.Stream(b.cfg.Seed, uint64(thread))}
 }
 
 // Op runs exactly one transaction of the configured mix: a lookup with

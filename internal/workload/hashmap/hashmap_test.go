@@ -145,7 +145,7 @@ func TestWorkloadUnderEverySystem(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					w := b.NewWorker(sys, id, uint64(100+id))
+					w := b.NewWorker(sys, id)
 					for i := 0; i < 300; i++ {
 						w.Op()
 					}

@@ -227,7 +227,7 @@ func NewDB(heap *memsim.Heap, cfg Config) (*DB, error) {
 		return nil, err
 	}
 	cfg = cfg.withDefaults()
-	r := rng.New(cfg.Seed ^ 0x7065632d63) // "tpc-c"
+	r := rng.Stream(cfg.Seed, rng.StreamPopulate)
 
 	db := &DB{
 		heap:  heap,

@@ -75,7 +75,7 @@ func TestMixValidation(t *testing.T) {
 func TestMixProportions(t *testing.T) {
 	db, heap := newDB(t, smallConfig())
 	sys := tmtest.StandardFactories(0)[0].New(heap, 1) // sgl: deterministic
-	w, err := db.NewWorker(sys, 0, tpcc.StandardMix, 7)
+	w, err := db.NewWorker(sys, 0, tpcc.StandardMix)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +135,7 @@ func TestConcurrentRunStaysConsistent(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					w, err := db.NewWorker(sys, id, tpcc.StandardMix, uint64(1000+id))
+					w, err := db.NewWorker(sys, id, tpcc.StandardMix)
 					if err != nil {
 						panic(err)
 					}
@@ -170,7 +170,7 @@ func TestReadDominatedRunStaysConsistent(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					w, err := db.NewWorker(sys, id, tpcc.ReadDominatedMix, uint64(2000+id))
+					w, err := db.NewWorker(sys, id, tpcc.ReadDominatedMix)
 					if err != nil {
 						panic(err)
 					}
@@ -193,7 +193,7 @@ func TestDeliveryProgress(t *testing.T) {
 	cfg.Warehouses = 1
 	db, heap := newDB(t, cfg)
 	sys := tmtest.StandardFactories(0)[0].New(heap, 1)
-	w, err := db.NewWorker(sys, 0, tpcc.Mix{Delivery: 100}, 5)
+	w, err := db.NewWorker(sys, 0, tpcc.Mix{Delivery: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestOrderRingWrapIsSafe(t *testing.T) {
 	cfg.Warehouses = 1
 	db, heap := newDB(t, cfg)
 	sys := tmtest.StandardFactories(0)[0].New(heap, 1)
-	w, err := db.NewWorker(sys, 0, tpcc.Mix{NewOrder: 100}, 11)
+	w, err := db.NewWorker(sys, 0, tpcc.Mix{NewOrder: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestPaymentAccounting(t *testing.T) {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			w, err := db.NewWorker(sys, id, tpcc.Mix{Payment: 100}, uint64(30+id))
+			w, err := db.NewWorker(sys, id, tpcc.Mix{Payment: 100})
 			if err != nil {
 				panic(err)
 			}
@@ -266,7 +266,7 @@ func TestReadOnlyProfilesDoNotWrite(t *testing.T) {
 	cfg := smallConfig()
 	db, heap := newDB(t, cfg)
 	sys := tmtest.StandardFactories(0)[2].New(heap, 1) // si-htm: RO fast path would panic on writes
-	w, err := db.NewWorker(sys, 0, tpcc.Mix{OrderStatus: 50, StockLevel: 50}, 13)
+	w, err := db.NewWorker(sys, 0, tpcc.Mix{OrderStatus: 50, StockLevel: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestReadOnlyProfilesDoNotWrite(t *testing.T) {
 func TestWorkerRejectsBadMix(t *testing.T) {
 	db, heap := newDB(t, smallConfig())
 	sys := tmtest.StandardFactories(0)[0].New(heap, 1)
-	if _, err := db.NewWorker(sys, 0, tpcc.Mix{NewOrder: 10}, 1); err == nil {
+	if _, err := db.NewWorker(sys, 0, tpcc.Mix{NewOrder: 10}); err == nil {
 		t.Fatal("bad mix accepted")
 	}
 }

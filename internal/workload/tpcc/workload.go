@@ -101,8 +101,11 @@ type Worker struct {
 	Executed [NumTxTypes]uint64
 }
 
-// NewWorker builds the driver for one thread.
-func (db *DB) NewWorker(sys tm.System, thread int, mix Mix, seed uint64) (*Worker, error) {
+// NewWorker builds the driver for one thread. Its generator is thread's
+// stream of the database seed (rng.Stream): the population used
+// rng.StreamPopulate of the same seed, so one Config.Seed reproduces
+// the whole benchmark — load and execution — deterministically.
+func (db *DB) NewWorker(sys tm.System, thread int, mix Mix) (*Worker, error) {
 	if err := mix.Validate(); err != nil {
 		return nil, err
 	}
@@ -111,7 +114,7 @@ func (db *DB) NewWorker(sys tm.System, thread int, mix Mix, seed uint64) (*Worke
 		sys:    sys,
 		thread: thread,
 		mix:    mix,
-		r:      rng.New(seed),
+		r:      rng.Stream(db.cfg.Seed, uint64(thread)),
 		homeW:  thread % len(db.ws),
 		seen:   make([]bool, db.cfg.Items()),
 	}, nil

@@ -1,0 +1,251 @@
+// Package vacation is a STAMP-vacation-style travel-reservation
+// workload: three resource tables (cars, flights, rooms) indexed by
+// transactional B+trees, a customer table holding per-customer
+// reservation lists, and a task mix of browsing quotes (read-only),
+// making reservations (multi-table lookup + booking), cancelling
+// customers and updating table prices. It is the paper's §4 "STAMP
+// applications" axis for this reproduction: transaction footprint is
+// configurable through QueryN (items examined per task), so the same
+// scenario spans TMCAM-friendly and capacity-stretching shapes.
+//
+// The package is built on the workload engine's primitives: item draws
+// go through engine.KeyDraw (uniform or Zipfian over the query range)
+// and every generator derives from one seed via rng.Stream, so runs are
+// reproducible like every other workload in the repository.
+package vacation
+
+import (
+	"fmt"
+
+	"sihtm/internal/index/btree"
+	"sihtm/internal/memsim"
+	"sihtm/internal/rng"
+	"sihtm/internal/tm"
+	"sihtm/internal/workload/engine"
+)
+
+// The three resource tables.
+const (
+	TableCar = iota
+	TableFlight
+	TableRoom
+	NumTables
+)
+
+// tableName labels tables in errors.
+var tableName = [NumTables]string{"car", "flight", "room"}
+
+// Resource record layout (one cache line): total capacity, currently
+// available units, price per unit.
+const (
+	recTotal = 0
+	recAvail = 1
+	recPrice = 2
+)
+
+// Reservation-list node layout (one cache line): table, item id, price
+// paid, next node (0 = end).
+const (
+	resTable = 0
+	resID    = 1
+	resPrice = 2
+	resNext  = 3
+)
+
+// Config parameterises the scenario.
+type Config struct {
+	// Relations is the row count of each resource table.
+	Relations int
+	// Customers is the customer count.
+	Customers int
+	// QueryN is the number of items a task examines — the transaction
+	// footprint knob (each item costs a B+tree descent plus the record
+	// line).
+	QueryN int
+	// QueryRangePct restricts tasks to the first QueryRangePct percent
+	// of each table (STAMP's -q): smaller ranges mean higher contention.
+	QueryRangePct int
+	// Task mix in percent; must sum to 100.
+	BrowsePct, ReservePct, DeleteCustomerPct, UpdateTablesPct int
+	// Dist draws item ids within the query range (uniform by default).
+	Dist engine.Dist
+	// Seed reproduces the run (population uses rng.StreamPopulate,
+	// worker threads their thread stream).
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Relations == 0 {
+		c.Relations = 1 << 10
+	}
+	if c.Customers == 0 {
+		c.Customers = 1 << 8
+	}
+	if c.QueryN == 0 {
+		c.QueryN = 2
+	}
+	if c.QueryRangePct == 0 {
+		c.QueryRangePct = 100
+	}
+	if c.BrowsePct+c.ReservePct+c.DeleteCustomerPct+c.UpdateTablesPct == 0 {
+		c.BrowsePct, c.ReservePct, c.DeleteCustomerPct, c.UpdateTablesPct = 50, 40, 5, 5
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Relations <= 0 || c.Customers <= 0 || c.QueryN <= 0 {
+		return fmt.Errorf("vacation: relations, customers and queryN must be positive (%d, %d, %d)",
+			c.Relations, c.Customers, c.QueryN)
+	}
+	if c.QueryRangePct <= 0 || c.QueryRangePct > 100 {
+		return fmt.Errorf("vacation: query range %d%% out of (0,100]", c.QueryRangePct)
+	}
+	if s := c.BrowsePct + c.ReservePct + c.DeleteCustomerPct + c.UpdateTablesPct; s != 100 {
+		return fmt.Errorf("vacation: task mix sums to %d, want 100", s)
+	}
+	return nil
+}
+
+// queryRange is the item-id range tasks draw from.
+func (c Config) queryRange() int {
+	n := c.Relations * c.QueryRangePct / 100
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// HeapLinesNeeded estimates the heap the scenario needs: records,
+// customer heads, B+tree nodes for all four indexes, reservation-node
+// churn and slack.
+func (c Config) HeapLinesNeeded() int {
+	c = c.withDefaults()
+	rows := NumTables*c.Relations + c.Customers
+	btreeLines := rows // ~2 lines per node, ~half-full leaves
+	return rows + btreeLines + 64*c.Customers + 1<<14
+}
+
+// Manager owns the database: the three resource tables and the customer
+// table, each indexed by a transactional B+tree mapping id to the
+// record's (immutable) line address.
+type Manager struct {
+	heap      *memsim.Heap
+	cfg       Config
+	tables    [NumTables]*btree.Tree
+	customers *btree.Tree
+	// Quiescent caches for population and verification (the indexes are
+	// the transactional access path).
+	recordOf [NumTables][]memsim.Addr
+	headOf   []memsim.Addr
+}
+
+// NewManager allocates and populates the database on heap.
+func NewManager(heap *memsim.Heap, cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{heap: heap, cfg: cfg, customers: btree.New(heap)}
+	r := rng.Stream(cfg.Seed, rng.StreamPopulate)
+	ops := engine.DirectOps{Heap: heap}
+	pool := btree.NewPool(heap)
+	insert := func(t *btree.Tree, key uint64, value uint64) {
+		pool.Refill(btree.RecommendedPoolSize())
+		pool.Reset()
+		t.Insert(ops, key, value, pool)
+		pool.Commit()
+	}
+	for t := 0; t < NumTables; t++ {
+		m.tables[t] = btree.New(heap)
+		m.recordOf[t] = make([]memsim.Addr, cfg.Relations)
+		for id := 0; id < cfg.Relations; id++ {
+			rec := heap.AllocLine()
+			capacity := uint64(100 + r.Intn(100))
+			heap.Store(rec+recTotal, capacity)
+			heap.Store(rec+recAvail, capacity)
+			heap.Store(rec+recPrice, uint64(100+r.Intn(400)))
+			m.recordOf[t][id] = rec
+			insert(m.tables[t], uint64(id), uint64(rec))
+		}
+	}
+	m.headOf = make([]memsim.Addr, cfg.Customers)
+	for c := 0; c < cfg.Customers; c++ {
+		head := heap.AllocLine() // word 0 = list head, 0 = empty
+		m.headOf[c] = head
+		insert(m.customers, uint64(c), uint64(head))
+	}
+	return m, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// CheckConsistency verifies, quiescently, the scenario's conservation
+// invariant: for every resource record, total − available equals the
+// number of reservations of that record across all customer lists —
+// i.e. no unit was double-booked or leaked — plus structural sanity of
+// the indexes and the lists.
+func (m *Manager) CheckConsistency() error {
+	for t := 0; t < NumTables; t++ {
+		if err := m.tables[t].CheckInvariants(); err != nil {
+			return fmt.Errorf("vacation: %s index: %w", tableName[t], err)
+		}
+	}
+	if err := m.customers.CheckInvariants(); err != nil {
+		return fmt.Errorf("vacation: customer index: %w", err)
+	}
+	reserved := make([]map[uint64]uint64, NumTables)
+	for t := range reserved {
+		reserved[t] = map[uint64]uint64{}
+	}
+	for c, head := range m.headOf {
+		node := memsim.Addr(m.heap.Load(head))
+		steps := 0
+		for node != 0 {
+			if steps++; steps > 1<<20 {
+				return fmt.Errorf("vacation: customer %d reservation list does not terminate", c)
+			}
+			t := m.heap.Load(node + resTable)
+			id := m.heap.Load(node + resID)
+			if t >= NumTables || id >= uint64(m.cfg.Relations) {
+				return fmt.Errorf("vacation: customer %d holds bogus reservation (%d, %d)", c, t, id)
+			}
+			reserved[t][id]++
+			node = memsim.Addr(m.heap.Load(node + resNext))
+		}
+	}
+	for t := 0; t < NumTables; t++ {
+		for id, rec := range m.recordOf[t] {
+			total := m.heap.Load(rec + recTotal)
+			avail := m.heap.Load(rec + recAvail)
+			if avail > total {
+				return fmt.Errorf("vacation: %s %d has avail %d > total %d", tableName[t], id, avail, total)
+			}
+			if got := total - avail; got != reserved[t][uint64(id)] {
+				return fmt.Errorf("vacation: %s %d books %d units but %d reservations exist",
+					tableName[t], id, got, reserved[t][uint64(id)])
+			}
+		}
+	}
+	return nil
+}
+
+// lookupRecord resolves a table row through its index.
+func (m *Manager) lookupRecord(ops tm.Ops, t int, id uint64) (memsim.Addr, error) {
+	v, ok := m.tables[t].Lookup(ops, id)
+	if !ok {
+		return 0, fmt.Errorf("vacation: %s %d missing from index", tableName[t], id)
+	}
+	return memsim.Addr(v), nil
+}
+
+// lookupHead resolves a customer's list-head cell through the index.
+func (m *Manager) lookupHead(ops tm.Ops, c uint64) (memsim.Addr, error) {
+	v, ok := m.customers.Lookup(ops, c)
+	if !ok {
+		return 0, fmt.Errorf("vacation: customer %d missing from index", c)
+	}
+	return memsim.Addr(v), nil
+}

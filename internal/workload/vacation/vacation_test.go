@@ -1,0 +1,155 @@
+package vacation
+
+import (
+	"sync"
+	"testing"
+
+	"sihtm/internal/htm"
+	"sihtm/internal/htmtm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/sgl"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+)
+
+func testConfig() Config {
+	return Config{
+		Relations: 128,
+		Customers: 32,
+		QueryN:    4,
+		Seed:      11,
+	}
+}
+
+func newManager(t *testing.T, cfg Config) (*Manager, *htm.Machine) {
+	t.Helper()
+	heap := memsim.NewHeapLines(cfg.withDefaults().HeapLinesNeeded())
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+	mgr, err := NewManager(heap, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mgr, m
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Relations: -1, Customers: 1, QueryN: 1, QueryRangePct: 100, BrowsePct: 100},
+		{Relations: 1, Customers: 1, QueryN: 1, QueryRangePct: 101, BrowsePct: 100},
+		{Relations: 1, Customers: 1, QueryN: 1, QueryRangePct: 50, BrowsePct: 99},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+	if err := testConfig().withDefaults().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+// A fresh database must satisfy the conservation invariant (nothing
+// booked) and respond to quotes.
+func TestPopulationConsistent(t *testing.T) {
+	mgr, _ := newManager(t, testConfig())
+	if err := mgr.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The full mix on the serial oracle must preserve conservation exactly.
+func TestMixOnSGL(t *testing.T) {
+	mgr, m := newManager(t, testConfig())
+	sys := sgl.NewSystem(m, 1)
+	w, err := mgr.NewWorker(sys, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		w.Op()
+	}
+	var total uint64
+	for _, n := range w.Executed {
+		total += n
+	}
+	if total != 4000 {
+		t.Fatalf("executed %d tasks, want 4000", total)
+	}
+	for k := TaskKind(0); k < NumTaskKinds; k++ {
+		if w.Executed[k] == 0 {
+			t.Errorf("profile %s never ran in 4000 tasks", k)
+		}
+	}
+	if err := mgr.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Concurrent workers on SI-HTM and on plain HTM must preserve the
+// conservation invariant: bookings and cancellations of the same
+// records serialize through write-write conflicts.
+func TestConcurrentConsistency(t *testing.T) {
+	for _, sysName := range []string{"si-htm", "htm"} {
+		t.Run(sysName, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Relations = 64
+			cfg.Customers = 8
+			cfg.QueryRangePct = 25 // force contention
+			mgr, m := newManager(t, cfg)
+			const threads = 4
+			var sys tm.System
+			if sysName == "si-htm" {
+				sys = sihtm.NewSystem(m, threads, sihtm.Config{})
+			} else {
+				sys = htmtm.NewSystem(m, threads, htmtm.Config{})
+			}
+			var wg sync.WaitGroup
+			for th := 0; th < threads; th++ {
+				wg.Add(1)
+				go func(th int) {
+					defer wg.Done()
+					w, err := mgr.NewWorker(sys, th)
+					if err != nil {
+						panic(err)
+					}
+					for i := 0; i < 500; i++ {
+						w.Op()
+					}
+				}(th)
+			}
+			wg.Wait()
+			if err := mgr.CheckConsistency(); err != nil {
+				t.Fatal(err)
+			}
+			if sys.Collector().Snapshot().Commits == 0 {
+				t.Fatal("no commits recorded")
+			}
+		})
+	}
+}
+
+// Workers must be deterministic per (seed, thread): two managers over
+// identical configs draw identical task sequences.
+func TestWorkerDeterminism(t *testing.T) {
+	mgr1, m1 := newManager(t, testConfig())
+	mgr2, m2 := newManager(t, testConfig())
+	sys1 := sgl.NewSystem(m1, 1)
+	sys2 := sgl.NewSystem(m2, 1)
+	w1, err := mgr1.NewWorker(sys1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := mgr2.NewWorker(sys2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if k1, k2 := w1.Op(), w2.Op(); k1 != k2 {
+			t.Fatalf("task %d: %s vs %s", i, k1, k2)
+		}
+	}
+	if w1.Executed != w2.Executed {
+		t.Fatalf("profiles diverged: %v vs %v", w1.Executed, w2.Executed)
+	}
+}

@@ -1,0 +1,244 @@
+package vacation
+
+import (
+	"fmt"
+
+	"sihtm/internal/memsim"
+	"sihtm/internal/rng"
+	"sihtm/internal/tm"
+	"sihtm/internal/workload/engine"
+)
+
+// TaskKind identifies a vacation task profile.
+type TaskKind int
+
+// The four profiles.
+const (
+	TaskBrowse TaskKind = iota
+	TaskReserve
+	TaskDeleteCustomer
+	TaskUpdateTables
+	NumTaskKinds
+)
+
+// String implements fmt.Stringer.
+func (k TaskKind) String() string {
+	switch k {
+	case TaskBrowse:
+		return "browse"
+	case TaskReserve:
+		return "reserve"
+	case TaskDeleteCustomer:
+		return "delete-customer"
+	case TaskUpdateTables:
+		return "update-tables"
+	default:
+		return fmt.Sprintf("TaskKind(%d)", int(k))
+	}
+}
+
+// plannedItem is one (table, id) pair drawn for a task.
+type plannedItem struct {
+	table int
+	id    uint64
+}
+
+// Worker drives one thread's share of the workload. Reservation-list
+// nodes are managed by an engine.LinePool: spares are allocated outside
+// transactions, aborted attempts rewind and reuse them, and nodes
+// unlinked by a committed cancellation are recycled.
+type Worker struct {
+	m      *Manager
+	sys    tm.System
+	thread int
+	r      *rng.Rand
+	draw   engine.KeyDraw
+	pool   *engine.LinePool
+
+	items  []plannedItem
+	prices []uint64
+
+	// Executed counts committed tasks per profile.
+	Executed [NumTaskKinds]uint64
+}
+
+// NewWorker builds the driver for one thread.
+func (m *Manager) NewWorker(sys tm.System, thread int) (*Worker, error) {
+	draw, err := engine.NewKeyDraw(m.cfg.Dist, m.cfg.queryRange())
+	if err != nil {
+		return nil, fmt.Errorf("vacation: %w", err)
+	}
+	return &Worker{
+		m:      m,
+		sys:    sys,
+		thread: thread,
+		r:      rng.Stream(m.cfg.Seed, uint64(thread)),
+		draw:   draw,
+		pool:   engine.NewLinePool(m.heap),
+	}, nil
+}
+
+// Op draws one task from the mix and runs it to commit, returning its
+// profile.
+func (w *Worker) Op() TaskKind {
+	cfg := w.m.cfg
+	v := w.r.Intn(100)
+	var k TaskKind
+	switch {
+	case v < cfg.BrowsePct:
+		k = TaskBrowse
+		w.browse()
+	case v < cfg.BrowsePct+cfg.ReservePct:
+		k = TaskReserve
+		w.reserve()
+	case v < cfg.BrowsePct+cfg.ReservePct+cfg.DeleteCustomerPct:
+		k = TaskDeleteCustomer
+		w.deleteCustomer()
+	default:
+		k = TaskUpdateTables
+		w.updateTables()
+	}
+	w.Executed[k]++
+	return k
+}
+
+// planItems draws QueryN (table, id) pairs outside the transaction.
+func (w *Worker) planItems() {
+	w.items = w.items[:0]
+	for i := 0; i < w.m.cfg.QueryN; i++ {
+		w.items = append(w.items, plannedItem{table: w.r.Intn(NumTables), id: w.draw.Draw(w.r)})
+	}
+}
+
+// browse quotes QueryN items without booking: a read-only transaction
+// whose footprint is QueryN index descents plus record lines — the
+// shape SI-HTM's read-only fast path exists for.
+func (w *Worker) browse() {
+	w.planItems()
+	w.sys.Atomic(w.thread, tm.KindReadOnly, func(ops tm.Ops) {
+		for _, it := range w.items {
+			rec, err := w.m.lookupRecord(ops, it.table, it.id)
+			if err != nil {
+				panic(err)
+			}
+			_ = ops.Read(rec + recAvail)
+			_ = ops.Read(rec + recPrice)
+		}
+	})
+}
+
+// reserve examines QueryN items, picks the cheapest available item of
+// each table among them, books one unit of each pick and appends the
+// reservations to a customer's list — the paper's multi-table
+// lookup-then-book transaction.
+func (w *Worker) reserve() {
+	w.planItems()
+	customer := uint64(w.r.Intn(w.m.cfg.Customers))
+	w.pool.Prepare(NumTables)
+	w.sys.Atomic(w.thread, tm.KindUpdate, func(ops tm.Ops) {
+		w.pool.Reset()
+		type pick struct {
+			rec   memsim.Addr
+			avail uint64
+			price uint64
+			has   bool
+			id    uint64
+		}
+		var best [NumTables]pick
+		for _, it := range w.items {
+			rec, err := w.m.lookupRecord(ops, it.table, it.id)
+			if err != nil {
+				panic(err)
+			}
+			avail := ops.Read(rec + recAvail)
+			price := ops.Read(rec + recPrice)
+			if avail == 0 {
+				continue
+			}
+			b := &best[it.table]
+			if !b.has || price < b.price {
+				*b = pick{rec: rec, avail: avail, price: price, has: true, id: it.id}
+			}
+		}
+		var head memsim.Addr
+		var oldHead uint64
+		for t := range best {
+			b := best[t]
+			if !b.has {
+				continue
+			}
+			if head == 0 {
+				h, err := w.m.lookupHead(ops, customer)
+				if err != nil {
+					panic(err)
+				}
+				head = h
+				oldHead = ops.Read(head)
+			}
+			// Picks are one record per table, so b.avail is still this
+			// transaction's consistent view of the record.
+			ops.Write(b.rec+recAvail, b.avail-1)
+			node := w.pool.Take()
+			ops.Write(node+resTable, uint64(t))
+			ops.Write(node+resID, b.id)
+			ops.Write(node+resPrice, b.price)
+			ops.Write(node+resNext, oldHead)
+			ops.Write(head, uint64(node))
+			oldHead = uint64(node)
+		}
+	})
+	w.pool.Commit()
+}
+
+// deleteCustomer cancels every reservation of one customer: it walks
+// the list, releases each booked unit and clears the list. The unlinked
+// nodes are recycled after commit (safe: any concurrent writer of the
+// same list also writes the head cell, a write-write conflict).
+func (w *Worker) deleteCustomer() {
+	customer := uint64(w.r.Intn(w.m.cfg.Customers))
+	w.sys.Atomic(w.thread, tm.KindUpdate, func(ops tm.Ops) {
+		w.pool.Reset()
+		head, err := w.m.lookupHead(ops, customer)
+		if err != nil {
+			panic(err)
+		}
+		node := memsim.Addr(ops.Read(head))
+		if node == 0 {
+			return
+		}
+		for node != 0 {
+			t := int(ops.Read(node + resTable))
+			id := ops.Read(node + resID)
+			rec, err := w.m.lookupRecord(ops, t, id)
+			if err != nil {
+				panic(err)
+			}
+			ops.Write(rec+recAvail, ops.Read(rec+recAvail)+1)
+			w.pool.Release(node)
+			node = memsim.Addr(ops.Read(node + resNext))
+		}
+		ops.Write(head, 0)
+	})
+	w.pool.Commit()
+}
+
+// updateTables re-prices QueryN rows of one table — the STAMP
+// administrator task that makes resource records write-hot.
+func (w *Worker) updateTables() {
+	table := w.r.Intn(NumTables)
+	w.items = w.items[:0]
+	w.prices = w.prices[:0]
+	for i := 0; i < w.m.cfg.QueryN; i++ {
+		w.items = append(w.items, plannedItem{table: table, id: w.draw.Draw(w.r)})
+		w.prices = append(w.prices, uint64(100+w.r.Intn(400)))
+	}
+	w.sys.Atomic(w.thread, tm.KindUpdate, func(ops tm.Ops) {
+		for i, it := range w.items {
+			rec, err := w.m.lookupRecord(ops, it.table, it.id)
+			if err != nil {
+				panic(err)
+			}
+			ops.Write(rec+recPrice, w.prices[i])
+		}
+	})
+}

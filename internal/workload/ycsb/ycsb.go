@@ -1,0 +1,104 @@
+// Package ycsb defines YCSB-style transactional key-value workloads as
+// engine specs: the A/B/C core mixes (update-heavy, read-mostly,
+// read-only) grouped into multi-operation transactions over a Zipfian
+// keyspace, runnable on either engine backend (the chained hash map or
+// the B+tree index).
+//
+// The translation from YCSB's single-op requests to transactions: each
+// transaction batches OpsPerTx operations of the mix, so the paper's
+// capacity argument applies — a transaction's footprint is the union of
+// the cache lines its batched operations touch, and read-only batches
+// ride SI-HTM's uninstrumented fast path.
+package ycsb
+
+import (
+	"fmt"
+
+	"sihtm/internal/workload/engine"
+)
+
+// DefaultTheta is YCSB's default Zipfian skew.
+const DefaultTheta = 0.99
+
+// Workload names a core YCSB mix.
+type Workload string
+
+// The supported mixes.
+const (
+	// A is the update-heavy mix: 50% reads, 50% read-modify-writes.
+	A Workload = "a"
+	// B is the read-mostly mix: 95% reads, 5% read-modify-writes.
+	B Workload = "b"
+	// C is the read-only mix: point reads plus short scans (the
+	// scan-flavoured C variant; every transaction is read-only).
+	C Workload = "c"
+)
+
+// Mix returns the op mix of a workload.
+func (w Workload) Mix() ([]engine.MixEntry, error) {
+	switch w {
+	case A:
+		return []engine.MixEntry{
+			{Op: engine.OpRead, Percent: 50},
+			{Op: engine.OpReadModifyWrite, Percent: 50},
+		}, nil
+	case B:
+		return []engine.MixEntry{
+			{Op: engine.OpRead, Percent: 95},
+			{Op: engine.OpReadModifyWrite, Percent: 5},
+		}, nil
+	case C:
+		return []engine.MixEntry{
+			{Op: engine.OpRead, Percent: 90},
+			{Op: engine.OpScan, Percent: 10},
+		}, nil
+	default:
+		return nil, fmt.Errorf("ycsb: unknown workload %q (have a, b, c)", w)
+	}
+}
+
+// Config parameterises a YCSB spec.
+type Config struct {
+	// Workload selects the mix (A, B, C).
+	Workload Workload
+	// Keys is the keyspace size; all keys are populated.
+	Keys int
+	// Theta is the Zipfian skew (0 = uniform; DefaultTheta if left 0
+	// and UniformKeys is false).
+	Theta float64
+	// UniformKeys forces the uniform distribution (Theta 0 otherwise
+	// defaults to DefaultTheta).
+	UniformKeys bool
+	// OpsPerTx is the operations batched per transaction (default 8).
+	OpsPerTx int
+	// ScanLen is the entries per scan op (default 16).
+	ScanLen int
+	// Seed reproduces the run.
+	Seed uint64
+}
+
+// Spec builds the engine spec for the configuration.
+func Spec(c Config) (engine.Spec, error) {
+	mix, err := c.Workload.Mix()
+	if err != nil {
+		return engine.Spec{}, err
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 8
+	}
+	dist := engine.Dist{Kind: engine.DistZipfian, Theta: c.Theta}
+	if c.UniformKeys {
+		dist = engine.Dist{Kind: engine.DistUniform}
+	} else if c.Theta == 0 {
+		dist.Theta = DefaultTheta
+	}
+	return engine.Spec{
+		Name:        "ycsb-" + string(c.Workload),
+		Keys:        c.Keys,
+		Dist:        dist,
+		Mix:         mix,
+		OpsPerTxMin: c.OpsPerTx,
+		ScanLen:     c.ScanLen,
+		Seed:        c.Seed,
+	}, nil
+}
