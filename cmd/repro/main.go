@@ -21,8 +21,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -50,6 +52,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "bench":
 		err = cmdBench(os.Args[2:])
+	case "durable":
+		err = cmdDurable(os.Args[2:])
+	case "recover":
+		err = cmdRecover(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -73,7 +79,23 @@ commands:
   list                      enumerate the experiment registry
   run                       run experiments, write JSON + markdown results
   bench                     run the hot-path microbenchmark suite (BENCH_hotpath.json)
+  durable                   run a durable workload against a WAL directory (crashable)
+  recover                   crash-replay a durable run directory and check invariants
   compare                   compare two result files for regressions
+
+durable flags:
+  --dir=DIR                 run directory (meta.json + wal.log + heap.ckpt)
+  --scenario=ycsb-a         workload: ycsb-a or vacation
+  --system=si-htm           concurrency control (default si-htm)
+  --threads=N               worker threads (default 4)
+  --scale=ci|quick|paper    workload sizing preset (default ci)
+  --window=DUR              group-commit fsync window (default 1ms)
+  --checkpoint-every=DUR    fuzzy checkpoint interval (default 1s; 0 disables)
+  --duration=DUR            stop cleanly after DUR (default 0: run until killed)
+
+recover flags:
+  --dir=DIR                 run directory written by 'repro durable'
+  --out=FILE                JSON recovery report (default BENCH_recover.json; '' = none)
 
 bench flags:
   --time=DUR                per-case measurement budget (default 100ms)
@@ -406,6 +428,77 @@ func cmdBench(args []string) error {
 		fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(rep.Records))
 	}
 	rep.WriteText(os.Stdout)
+	return nil
+}
+
+// cmdDurable runs a durable workload against an on-disk WAL directory,
+// either for a fixed duration or until the process is killed — the
+// crash half of the recovery pipeline.
+func cmdDurable(args []string) error {
+	fs := flag.NewFlagSet("durable", flag.ExitOnError)
+	var (
+		dir       = fs.String("dir", "", "run directory (required)")
+		scenario  = fs.String("scenario", "ycsb-a", "workload: "+strings.Join(experiments.DurableScenarioNames(), "|"))
+		system    = fs.String("system", "si-htm", "concurrency control")
+		threads   = fs.Int("threads", 4, "worker threads")
+		scaleName = fs.String("scale", "ci", "workload sizing preset")
+		window    = fs.Duration("window", time.Millisecond, "group-commit fsync window")
+		ckptEvery = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
+		duration  = fs.Duration("duration", 0, "stop cleanly after this long (0 = run until killed)")
+		quiet     = fs.Bool("quiet", false, "suppress the per-second progress line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("durable needs --dir")
+	}
+	meta := experiments.DurableMeta{
+		Scenario: *scenario,
+		System:   *system,
+		Scale:    *scaleName,
+		Threads:  *threads,
+		WindowNS: int64(*window),
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	fmt.Fprintf(os.Stderr, "durable run: %s on %s, %d threads, window %s → %s\n",
+		*scenario, *system, *threads, *window, *dir)
+	return experiments.StartDurable(*dir, meta, *duration, *ckptEvery, progress)
+}
+
+// cmdRecover crash-replays a durable run directory: rebuild the
+// scenario base, restore checkpoint + log, verify invariants, and write
+// the recovery report.
+func cmdRecover(args []string) error {
+	fs := flag.NewFlagSet("recover", flag.ExitOnError)
+	var (
+		dir = fs.String("dir", "", "run directory written by 'repro durable' (required)")
+		out = fs.String("out", "BENCH_recover.json", "JSON recovery report ('' = none)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("recover needs --dir")
+	}
+	rep, rerr := experiments.RecoverDurable(*dir)
+	if *out != "" {
+		j, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*out, append(j, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+	if rerr != nil {
+		return rerr
+	}
+	fmt.Printf("recovery OK: %s\n", rep.Detail)
 	return nil
 }
 

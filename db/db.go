@@ -26,6 +26,16 @@
 // Read-only reports (ScanPK / ScanIndex) run on SI-HTM's uninstrumented
 // fast path with unlimited capacity — the capacity stretch that is the
 // paper's contribution, applied to database range queries.
+//
+// This package is deliberately a pure re-export shim: type aliases and
+// thin constructors over internal/imdb (tables) and
+// internal/index/btree (indexes), with no logic of its own, so the
+// public surface cannot diverge from the implementation. Every engine
+// behaviour — and its tests — lives in internal/imdb; db decides only
+// what is public (see docs/architecture.md, "Public surface"). The
+// durability subsystem (internal/durable) attaches underneath this
+// layer, at the TM commit hook, so durable operation requires no db
+// API changes — see docs/durability.md.
 package db
 
 import (
@@ -63,6 +73,14 @@ var (
 	ErrDuplicateKey = imdb.ErrDuplicateKey
 	// ErrTableFull reports an Insert beyond the table's capacity.
 	ErrTableFull = imdb.ErrTableFull
+)
+
+// Index geometry, re-exported for capacity planning.
+const (
+	// Fanout is the B+tree's maximum child count per internal node.
+	Fanout = btree.Fanout
+	// MaxKeys is the key capacity of any B+tree node.
+	MaxKeys = btree.MaxKeys
 )
 
 // New creates an empty database on the runtime's heap.

@@ -1,0 +1,80 @@
+package db_test
+
+import (
+	"testing"
+
+	"sihtm"
+	"sihtm/db"
+	"sihtm/internal/imdb"
+	"sihtm/internal/index/btree"
+)
+
+// TestShimIsPureReExport pins the db ↔ internal/imdb contract: the
+// public types are aliases (assignable in both directions without
+// conversion), so the shim cannot diverge from the implementation.
+func TestShimIsPureReExport(t *testing.T) {
+	var (
+		_ *imdb.DB     = (*db.DB)(nil)
+		_ *imdb.Table  = (*db.Table)(nil)
+		_ *imdb.Writer = (*db.Writer)(nil)
+		_ imdb.Schema  = db.Schema{}
+		_ imdb.RowID   = db.RowID(0)
+		_ *btree.Tree  = (*db.Tree)(nil)
+		_ *btree.Pool  = (*db.Pool)(nil)
+	)
+	if db.ErrDuplicateKey != imdb.ErrDuplicateKey || db.ErrTableFull != imdb.ErrTableFull {
+		t.Fatal("db errors are not the imdb errors")
+	}
+	if db.Fanout != btree.Fanout || db.MaxKeys != btree.MaxKeys {
+		t.Fatal("db index geometry diverges from btree")
+	}
+	if db.RecommendedPoolSize() != btree.RecommendedPoolSize() {
+		t.Fatal("db.RecommendedPoolSize diverges from btree")
+	}
+}
+
+// TestPublicSurfaceRoundTrip exercises the documented public usage
+// shape end to end (runtime → db → table → transactional insert →
+// read-only scan).
+func TestPublicSurfaceRoundTrip(t *testing.T) {
+	rt := sihtm.New(sihtm.Config{HeapLines: 1 << 14})
+	store := db.New(rt)
+	orders, err := store.CreateTable(db.Schema{
+		Table:   "orders",
+		Columns: []string{"id", "customer", "amount"},
+	}, 1<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orders.CreateIndex("customer"); err != nil {
+		t.Fatal(err)
+	}
+
+	sys := rt.NewSIHTM(2, sihtm.SIHTMOptions{})
+	w := orders.NewWriter()
+	w.Prepare()
+	for i := uint64(1); i <= 10; i++ {
+		i := i
+		sys.Atomic(0, sihtm.KindUpdate, func(ops sihtm.Ops) {
+			if _, err := w.Insert(ops, []uint64{1000 + i, i % 3, i * 100}); err != nil {
+				panic(err)
+			}
+		})
+		w.Commit()
+	}
+
+	var seen int
+	sys.Atomic(1, sihtm.KindReadOnly, func(ops sihtm.Ops) {
+		seen = 0
+		orders.ScanPK(ops, 0, ^uint64(0), func(db.RowID) bool {
+			seen++
+			return true
+		})
+	})
+	if seen != 10 {
+		t.Fatalf("read-only scan saw %d rows, want 10", seen)
+	}
+	if err := orders.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}

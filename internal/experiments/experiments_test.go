@@ -19,8 +19,8 @@ func quickScale() Scale {
 
 func TestRegistryIsComplete(t *testing.T) {
 	entries := Registry()
-	if len(entries) != 21 { // 10 figure panels + 6 scenarios + 5 ablations
-		t.Fatalf("Registry() = %d entries, want 21", len(entries))
+	if len(entries) != 24 { // 10 figure panels + 6 scenarios + 3 durable + 5 ablations
+		t.Fatalf("Registry() = %d entries, want 24", len(entries))
 	}
 	seen := map[string]bool{}
 	figures := map[int]bool{}
@@ -85,9 +85,9 @@ func TestLookupAndSelect(t *testing.T) {
 		sel  string
 		want int
 	}{
-		{"all", 21},
+		{"all", 24},
 		{"figures", 10},
-		{"scenarios", 6},
+		{"scenarios", 9},
 		{"ablations", 5},
 		{"fig6", 2},
 		{"6", 2},
@@ -96,6 +96,7 @@ func TestLookupAndSelect(t *testing.T) {
 		{"ycsb", 3},
 		{"vacation", 2},
 		{"zipf", 1},
+		{"durable", 3},
 		{"fig6,fig9-low,capacity", 4},
 		{"ycsb,vacation,zipf", 6},
 	}

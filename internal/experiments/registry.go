@@ -95,7 +95,8 @@ func (e Entry) record(param string, hr harness.Result) results.Record {
 // vacation), then ablations A1..A5. Registry() builds entries in this
 // order and records carry the rank so reports render in it too.
 var registryIDs = append(append(append([]string{}, FigureOrder...),
-	"ycsb-a", "ycsb-b", "ycsb-c", "zipf", "vacation-low", "vacation-high"),
+	"ycsb-a", "ycsb-b", "ycsb-c", "zipf", "vacation-low", "vacation-high",
+	"durable-ycsb-a", "durable-vacation", "durable-window"),
 	"capacity", "tmcam", "rofast", "killer", "smt")
 
 // registryRank maps entry id → presentation rank.
@@ -116,6 +117,7 @@ func Registry() []Entry {
 		entries = append(entries, figureEntry(id))
 	}
 	entries = append(entries, scenarioEntries()...)
+	entries = append(entries, durableEntries()...)
 	entries = append(entries,
 		capacityEntry(),
 		tmcamEntry(),

@@ -24,7 +24,7 @@ var scenarioSystems = []string{"htm", "si-htm", "sgl"}
 
 // scenarioWorkloads marks the workload families that count as scenarios
 // (not ablations) for selectors.
-var scenarioWorkloads = map[string]bool{"ycsb": true, "vacation": true}
+var scenarioWorkloads = map[string]bool{"ycsb": true, "vacation": true, "durable": true}
 
 // scaledKeys shrinks a base keyspace by the scale's divisor, keeping a
 // floor so chains/trees stay non-degenerate.
@@ -98,6 +98,9 @@ func (y ycsbSpec) build(sc Scale, threads int) (*htm.Machine, engine.Backend, *e
 func engineCheck(backend engine.Backend, keys int) error {
 	if err := backend.Check(); err != nil {
 		return err
+	}
+	if d, ok := backend.(*engine.DurableBackend); ok {
+		backend = d.Unwrap()
 	}
 	var got int
 	switch b := backend.(type) {

@@ -3,6 +3,7 @@ package htm
 import (
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sync/atomic"
 
 	"sihtm/internal/memsim"
@@ -59,7 +60,12 @@ func (c Config) withDefaults() Config {
 // not false-share.
 type coreState struct {
 	used atomic.Int64 // tracked lines by all live transactions on this core
-	_    [120]byte
+	// committing counts this core's in-flight hardware commits. It is
+	// maintained only while a commit hook is installed: hooked fall-back
+	// paths use QuiesceCommits to order their redo records after every
+	// commit that raced their lock acquisition.
+	committing atomic.Int64
+	_          [112]byte
 }
 
 // Machine is a simulated POWER8/9 multicore with HTM. It owns the
@@ -71,6 +77,11 @@ type Machine struct {
 	cores   []coreState
 	shards  []shard
 	threads []Thread
+
+	// hook, when non-nil, brackets every committed write set's
+	// publication (see CommitHook). Set before workers start; read
+	// unsynchronized on the commit hot path.
+	hook CommitHook
 
 	// shardShift maps a line hash to its shard index (64 - log2(shards)),
 	// precomputed once here so the per-access shardOf/shardIndexOf never
@@ -148,6 +159,20 @@ func (m *Machine) DirectoryQuiescent() bool {
 		}
 	}
 	return true
+}
+
+// QuiesceCommits blocks until no hardware commit is in flight anywhere
+// on the machine. The in-flight counters are maintained only while a
+// commit hook is installed; without one the wait returns immediately.
+// The caller must guarantee no new commits can start (e.g. it holds the
+// SGL and every active transaction is subscribed to it), otherwise the
+// wait may not terminate.
+func (m *Machine) QuiesceCommits() {
+	for i := range m.cores {
+		for m.cores[i].committing.Load() != 0 {
+			runtime.Gosched()
+		}
+	}
 }
 
 // charge attempts to reserve n TMCAM lines on a core, reporting success.

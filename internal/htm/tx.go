@@ -384,10 +384,20 @@ func (tx *Tx) Commit() {
 	if tx.suspended {
 		panic("htm: Commit while suspended; Resume first")
 	}
+	m := tx.th.m
+	// With a commit hook installed, advertise the in-flight commit on the
+	// core-local counter before the point of no return, so QuiesceCommits
+	// observes every commit that can still publish (see hook.go).
+	hooked := m.hook != nil
+	if hooked {
+		m.cores[tx.th.core].committing.Add(1)
+	}
 	if !tx.status.CompareAndSwap(statusActive, statusCommitting) {
+		if hooked {
+			m.cores[tx.th.core].committing.Add(-1)
+		}
 		tx.abortNow()
 	}
-	m := tx.th.m
 	if tx.writes.Len() > 0 {
 		// Lock every shard covering the write set, in index order, so the
 		// write-back is atomic with respect to all directory-checking
@@ -417,8 +427,18 @@ func (tx *Tx) Commit() {
 		for _, i := range order {
 			m.shards[i].mu.Lock()
 		}
+		// The commit hook brackets the write-back inside the shard-locked
+		// section: a conflicting later transaction cannot reach its own
+		// PreCommit until these locks are released, so sequence numbers
+		// drawn in PreCommit respect the hardware serialization order.
+		if h := m.hook; h != nil {
+			h.PreCommit(tx.th.id, tx.writes.Entries())
+		}
 		for _, e := range tx.writes.Entries() {
 			m.heap.Store(e.Addr, e.Val)
+		}
+		if h := m.hook; h != nil {
+			h.PostCommit(tx.th.id)
 		}
 		for _, line := range tx.writeLines.Lines() {
 			s := m.shardOf(line)
@@ -452,4 +472,7 @@ func (tx *Tx) Commit() {
 	tx.charged = 0
 	tx.resetFootprint()
 	tx.status.Store(statusCommitted)
+	if hooked {
+		m.cores[tx.th.core].committing.Add(-1)
+	}
 }

@@ -38,6 +38,11 @@ type System struct {
 	threads int
 	retries int
 	col     *stats.Collector
+
+	// hook, when set, makes the SGL fall-back publish through a
+	// tm.Recorder so its write set reaches the durability seam.
+	hook tm.CommitHook
+	recs []tm.Recorder
 }
 
 // NewSystem builds the baseline for the first `threads` hardware threads
@@ -63,6 +68,13 @@ func (s *System) Threads() int { return s.threads }
 
 // Collector implements tm.System.
 func (s *System) Collector() *stats.Collector { return s.col }
+
+// SetCommitHook implements tm.HookableSystem for the fall-back path.
+// Call before any transaction runs.
+func (s *System) SetCommitHook(h tm.CommitHook) {
+	s.hook = h
+	s.recs = make([]tm.Recorder, s.threads)
+}
 
 // Atomic implements tm.System: regular hardware transaction with early
 // lock subscription, bounded retries, then the SGL path. Capacity aborts
@@ -98,7 +110,21 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 	// Fall-back: serialise under the global lock. The acquisition store
 	// dooms all subscribed transactions.
 	s.lock.Acquire(th)
-	body(tm.PlainOps{Th: th})
+	if s.hook != nil {
+		// A subscriber that had already entered its hardware commit when
+		// the acquisition landed survives the doom and may still be
+		// publishing; wait it out so this fall-back's redo record is
+		// sequenced after every commit that raced the acquisition. (No
+		// new commit can start: every attempt subscribes first and the
+		// lock is now held.)
+		s.m.QuiesceCommits()
+		rec := &s.recs[thread]
+		rec.Begin(tm.PlainOps{Th: th})
+		body(rec)
+		rec.Flush(thread, s.hook)
+	} else {
+		body(tm.PlainOps{Th: th})
+	}
 	s.lock.Release(th)
 	l.Commit(kind == tm.KindReadOnly)
 	l.Fallback()

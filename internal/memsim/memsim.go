@@ -150,6 +150,17 @@ func (h *Heap) AllocAligned(size, alignWords int) Addr {
 	}
 }
 
+// RestoreAllocated resets the bump pointer to the given watermark —
+// recovery support: a restored heap image must also restore how much of
+// the heap was handed out, or post-recovery allocations would overlap
+// live data. Quiescent use only.
+func (h *Heap) RestoreAllocated(words int) {
+	if words < 1 || words > len(h.words) {
+		panic(fmt.Sprintf("memsim: restore watermark %d out of [1,%d]", words, len(h.words)))
+	}
+	h.next.Store(uint64(words))
+}
+
 // Zero clears size words starting at a. Setup-time helper; not atomic as a
 // unit (each word store is atomic).
 func (h *Heap) Zero(a Addr, size int) {

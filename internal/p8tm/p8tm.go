@@ -69,6 +69,12 @@ type System struct {
 	commit  sync.Mutex // serializes validate+write-back
 	col     *stats.Collector
 	workers []workerState
+
+	// hook, when set, makes the SGL fall-back publish through a
+	// tm.Recorder so its write set reaches the durability seam; ROT
+	// commits reach the hook through the machine (htm.CommitHook).
+	hook tm.CommitHook
+	recs []tm.Recorder
 }
 
 // NewSystem builds P8TM for the first `threads` hardware threads of m.
@@ -100,6 +106,13 @@ func (s *System) Threads() int { return s.threads }
 
 // Collector implements tm.System.
 func (s *System) Collector() *stats.Collector { return s.col }
+
+// SetCommitHook implements tm.HookableSystem for the fall-back path.
+// Call before any transaction runs.
+func (s *System) SetCommitHook(h tm.CommitHook) {
+	s.hook = h
+	s.recs = make([]tm.Recorder, s.threads)
+}
 
 // instrumentedOps is the update-transaction access path: reads go through
 // the hardware (untracked, capacity-free) but are logged in software for
@@ -169,7 +182,14 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 
 	s.lock.Acquire(th)
 	s.drainOthers(thread)
-	body(tm.PlainOps{Th: th})
+	if s.hook != nil {
+		rec := &s.recs[thread]
+		rec.Begin(tm.PlainOps{Th: th})
+		body(rec)
+		rec.Flush(thread, s.hook)
+	} else {
+		body(tm.PlainOps{Th: th})
+	}
 	s.lock.Release(th)
 	l.Commit(false)
 	l.Fallback()

@@ -83,6 +83,11 @@ type System struct {
 	lock    *Lock
 	threads int
 	col     *stats.Collector
+
+	// hook, when set, routes every transaction's write set through a
+	// tm.Recorder into the durability seam.
+	hook tm.CommitHook
+	recs []tm.Recorder
 }
 
 // NewSystem builds an SGL system for the first `threads` hardware threads
@@ -100,13 +105,27 @@ func (s *System) Threads() int { return s.threads }
 // Collector implements tm.System.
 func (s *System) Collector() *stats.Collector { return s.col }
 
+// SetCommitHook implements tm.HookableSystem. Call before any
+// transaction runs.
+func (s *System) SetCommitHook(h tm.CommitHook) {
+	s.hook = h
+	s.recs = make([]tm.Recorder, s.threads)
+}
+
 // Atomic implements tm.System by serialising body under the global lock.
 func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 	th := s.m.Thread(thread)
 	l := s.col.Thread(thread)
 	s.lock.Acquire(th)
 	defer s.lock.Release(th)
-	body(tm.PlainOps{Th: th})
+	if s.hook != nil {
+		rec := &s.recs[thread]
+		rec.Begin(tm.PlainOps{Th: th})
+		body(rec)
+		rec.Flush(thread, s.hook)
+	} else {
+		body(tm.PlainOps{Th: th})
+	}
 	l.Commit(kind == tm.KindReadOnly)
 	l.Fallback()
 }

@@ -68,6 +68,12 @@ type System struct {
 	lock    *sgl.Lock
 	col     *stats.Collector
 	snaps   [][]uint64 // per-thread scratch for the state snapshot
+
+	// hook, when set, makes the SGL fall-back publish through a
+	// tm.Recorder so its write set reaches the durability seam; ROT
+	// commits reach the hook through the machine (htm.CommitHook).
+	hook tm.CommitHook
+	recs []tm.Recorder // one per thread, fall-back only
 }
 
 // NewSystem builds SI-HTM for the first `threads` hardware threads of m.
@@ -99,6 +105,13 @@ func (s *System) Threads() int { return s.threads }
 
 // Collector implements tm.System.
 func (s *System) Collector() *stats.Collector { return s.col }
+
+// SetCommitHook implements tm.HookableSystem for the fall-back path.
+// Call before any transaction runs.
+func (s *System) SetCommitHook(h tm.CommitHook) {
+	s.hook = h
+	s.recs = make([]tm.Recorder, s.threads)
+}
 
 // syncWithGL is Algorithm 2's SyncWithGL: announce activity, then retract
 // and wait if the global lock is held, retrying until the announcement
@@ -152,10 +165,21 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 	}
 
 	// Fall-back: acquire the global lock, drain every active transaction,
-	// then run serially and non-transactionally.
+	// then run serially and non-transactionally. With a commit hook
+	// installed the body runs against a Recorder, so the write set is
+	// captured and published through the durability seam (the drain above
+	// guarantees no hardware commit is still publishing, so the record's
+	// sequence number agrees with the serialization order).
 	s.lock.Acquire(th)
 	s.drainOthers(thread)
-	body(tm.PlainOps{Th: th})
+	if s.hook != nil {
+		rec := &s.recs[thread]
+		rec.Begin(tm.PlainOps{Th: th})
+		body(rec)
+		rec.Flush(thread, s.hook)
+	} else {
+		body(tm.PlainOps{Th: th})
+	}
 	s.lock.Release(th)
 	l.Commit(kind == tm.KindReadOnly)
 	l.Fallback()

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"sihtm/internal/footprint"
 	"sihtm/internal/memsim"
 	"sihtm/internal/stats"
 	"sihtm/internal/tm"
@@ -38,15 +39,12 @@ type readEntry struct {
 	tid  uint64
 }
 
-type writeEntry struct {
-	addr memsim.Addr
-	val  uint64
-}
-
 // worker is one thread's transaction scratch, reused across attempts.
+// Buffered writes use footprint.Entry so the write set can be handed to
+// the durability commit hook without conversion.
 type worker struct {
 	reads      []readEntry
-	writes     []writeEntry
+	writes     []footprint.Entry
 	writeLines []memsim.Line
 	_          [64]byte
 }
@@ -58,6 +56,11 @@ type System struct {
 	threads int
 	col     *stats.Collector
 	workers []worker
+
+	// hook, when set, brackets the commit-time install of every write
+	// set (Silo publishes in software, so the machine-level hook does
+	// not apply here).
+	hook tm.CommitHook
 }
 
 // NewSystem builds Silo over heap for the given worker count.
@@ -84,6 +87,10 @@ func (s *System) Threads() int { return s.threads }
 // Collector implements tm.System.
 func (s *System) Collector() *stats.Collector { return s.col }
 
+// SetCommitHook implements tm.HookableSystem. Call before any
+// transaction runs.
+func (s *System) SetCommitHook(h tm.CommitHook) { s.hook = h }
+
 // ops is the instrumented access path for one attempt.
 type ops struct {
 	s *System
@@ -94,8 +101,8 @@ type ops struct {
 func (o ops) Read(a memsim.Addr) uint64 {
 	// Reads-own-writes first.
 	for i := len(o.w.writes) - 1; i >= 0; i-- {
-		if o.w.writes[i].addr == a {
-			return o.w.writes[i].val
+		if o.w.writes[i].Addr == a {
+			return o.w.writes[i].Val
 		}
 	}
 	line := memsim.LineOf(a)
@@ -117,12 +124,12 @@ func (o ops) Read(a memsim.Addr) uint64 {
 // Write implements tm.Ops: buffered until commit.
 func (o ops) Write(a memsim.Addr, v uint64) {
 	for i := range o.w.writes {
-		if o.w.writes[i].addr == a {
-			o.w.writes[i].val = v
+		if o.w.writes[i].Addr == a {
+			o.w.writes[i].Val = v
 			return
 		}
 	}
-	o.w.writes = append(o.w.writes, writeEntry{addr: a, val: v})
+	o.w.writes = append(o.w.writes, footprint.Entry{Addr: a, Val: v})
 	line := memsim.LineOf(a)
 	for _, l := range o.w.writeLines {
 		if l == line {
@@ -143,7 +150,7 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 		w.writes = w.writes[:0]
 		w.writeLines = w.writeLines[:0]
 		body(ops{s: s, w: w})
-		if s.commit(w) {
+		if s.commit(w, thread) {
 			l.Commit(kind == tm.KindReadOnly)
 			return
 		}
@@ -154,7 +161,7 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 
 // commit runs Silo's three-phase commit. It reports success; on failure
 // all locks are released and nothing was installed.
-func (s *System) commit(w *worker) bool {
+func (s *System) commit(w *worker, thread int) bool {
 	// Phase 1: lock the write set in canonical (address) order.
 	sort.Slice(w.writeLines, func(i, j int) bool { return w.writeLines[i] < w.writeLines[j] })
 	locked := 0
@@ -185,8 +192,19 @@ func (s *System) commit(w *worker) bool {
 		}
 	}
 	// Phase 3: install writes and bump versions (which also unlocks).
+	// With a commit hook installed, the install is bracketed like the
+	// hardware write-back: a conflicting later commit blocks on the line
+	// locks until this one unlocks, so sequence numbers drawn in
+	// PreCommit respect the OCC serialization order.
+	hooked := s.hook != nil && len(w.writes) > 0
+	if hooked {
+		s.hook.PreCommit(thread, w.writes)
+	}
 	for _, we := range w.writes {
-		s.heap.Store(we.addr, we.val)
+		s.heap.Store(we.Addr, we.Val)
+	}
+	if hooked {
+		s.hook.PostCommit(thread)
 	}
 	s.unlock(w, locked, true)
 	return true

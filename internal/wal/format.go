@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+
+	"sihtm/internal/footprint"
+	"sihtm/internal/memsim"
+)
+
+// On-disk record framing (all fields little-endian):
+//
+//	offset  size  field
+//	0       4     magic  = recordMagic ("WALR")
+//	4       8     seq    — commit sequence number (LSN); strictly
+//	              increasing by 1 in file order
+//	12      4     count  — number of (addr, val) word pairs
+//	16      16·n  pairs  — addr uint64, val uint64, first-write order,
+//	              last-write-wins values (one pair per distinct address)
+//	16+16·n 4     crc    — CRC-32C (Castagnoli) over bytes [0, 16+16·n)
+//
+// One record is one committed transaction's redo image. The framing is
+// self-validating: replay accepts the longest prefix of records whose
+// magic, CRC and sequence continuity all check out, and discards the
+// torn tail a crash mid-write leaves behind.
+const (
+	recordMagic   = uint32(0x57414C52) // "WALR"
+	headerBytes   = 16
+	pairBytes     = 16
+	trailerBytes  = 4
+	maxPairs      = 1 << 28 // sanity bound on count during replay
+	recordMinSize = headerBytes + trailerBytes
+)
+
+// castagnoli is the CRC-32C table shared by append and replay.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recordSize returns the framed size of a record with n pairs.
+func recordSize(n int) int { return headerBytes + n*pairBytes + trailerBytes }
+
+// appendRecord encodes one record onto buf and returns the extended
+// slice. It allocates only when buf's capacity is exhausted (append
+// growth), so a retained buffer makes steady-state encoding
+// allocation-free.
+func appendRecord(buf []byte, seq uint64, entries []footprint.Entry) []byte {
+	start := len(buf)
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], recordMagic)
+	binary.LittleEndian.PutUint64(hdr[4:], seq)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(entries)))
+	buf = append(buf, hdr[:]...)
+	for _, e := range entries {
+		var pair [pairBytes]byte
+		binary.LittleEndian.PutUint64(pair[0:], uint64(e.Addr))
+		binary.LittleEndian.PutUint64(pair[8:], e.Val)
+		buf = append(buf, pair[:]...)
+	}
+	crc := crc32.Checksum(buf[start:], castagnoli)
+	var tr [trailerBytes]byte
+	binary.LittleEndian.PutUint32(tr[:], crc)
+	return append(buf, tr[:]...)
+}
+
+// parseRecord decodes the record at the head of b. ok is false when the
+// bytes do not frame a valid record (short buffer, bad magic, absurd
+// count or CRC mismatch) — the torn-tail signal. entries aliases b.
+func parseRecord(b []byte) (seq uint64, entries []footprint.Entry, size int, ok bool) {
+	if len(b) < recordMinSize {
+		return 0, nil, 0, false
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != recordMagic {
+		return 0, nil, 0, false
+	}
+	seq = binary.LittleEndian.Uint64(b[4:])
+	count := binary.LittleEndian.Uint32(b[12:])
+	if count > maxPairs {
+		return 0, nil, 0, false
+	}
+	size = recordSize(int(count))
+	if len(b) < size {
+		return 0, nil, 0, false
+	}
+	want := binary.LittleEndian.Uint32(b[size-trailerBytes:])
+	if crc32.Checksum(b[:size-trailerBytes], castagnoli) != want {
+		return 0, nil, 0, false
+	}
+	entries = make([]footprint.Entry, count)
+	for i := range entries {
+		off := headerBytes + i*pairBytes
+		entries[i].Addr = memsim.Addr(binary.LittleEndian.Uint64(b[off:]))
+		entries[i].Val = binary.LittleEndian.Uint64(b[off+8:])
+	}
+	return seq, entries, size, true
+}

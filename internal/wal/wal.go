@@ -1,0 +1,264 @@
+// Package wal is the write-ahead log of the durability subsystem: an
+// append-only file of per-transaction redo records (the write set a
+// committed transaction published, captured at the commit hook), made
+// durable by a group-commit daemon that batches fsyncs over a
+// configurable window, and replayed after a crash by Replay, which
+// accepts exactly the longest valid prefix and discards the torn tail
+// via per-record CRCs.
+//
+// Ordering contract: Append assigns sequence numbers under the same
+// mutex that serializes buffer writes, so file order equals sequence
+// order; callers (internal/durable.Store) invoke Append inside the TM
+// commit critical section, so sequence order also equals the
+// serialization order of conflicting transactions. Replaying records in
+// file order therefore reproduces every prefix of the commit history.
+//
+// Failure model: log I/O errors are fail-stop. A write or fsync failure
+// leaves the daemon panicking rather than acknowledging transactions it
+// can no longer make durable — the same posture production engines take
+// after fsyncgate.
+package wal
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/footprint"
+)
+
+// Config tunes a Log.
+type Config struct {
+	// Window is the group-commit fsync window: the daemon flushes and
+	// fsyncs the append buffer at most once per window, so one fsync
+	// amortizes over every transaction that arrived inside it. 0 means
+	// flush as soon as anything is pending (fsync latency itself then
+	// forms the batch). Ignored when NoDaemon is set.
+	Window time.Duration
+	// NoDaemon disables the background flusher: nothing becomes durable
+	// until Sync is called. Tests and the allocation pins use this to
+	// keep all I/O off the measured path.
+	NoDaemon bool
+	// FirstSeq is the sequence number of the first record appended
+	// (default 1). A store recovered to sequence S continues its log
+	// with FirstSeq = S+1.
+	FirstSeq uint64
+}
+
+// Stats counts a log's activity (monotonic, read with Stats).
+type Stats struct {
+	// Records and Bytes are appended totals (not necessarily durable).
+	Records uint64
+	Bytes   uint64
+	// Batches is how many flushes wrote data; Fsyncs counts fsyncs
+	// (equal to Batches unless Sync found nothing pending).
+	Batches uint64
+	Fsyncs  uint64
+}
+
+// Log is an append-only redo log over one file.
+type Log struct {
+	mu      sync.Mutex // guards buf, nextSeq
+	buf     []byte     // encoded records not yet handed to the flusher
+	nextSeq uint64
+
+	f       *os.File
+	flushMu sync.Mutex // serializes flushes; held across write+fsync
+	scratch []byte     // flusher-owned swap buffer (reused)
+
+	durMu   sync.Mutex
+	durCond *sync.Cond
+	durable uint64 // highest fsynced seq; guarded by durMu
+
+	records atomic.Uint64
+	bytes   atomic.Uint64
+	batches atomic.Uint64
+	fsyncs  atomic.Uint64
+
+	window time.Duration
+	kick   chan struct{} // wakes the daemon when Window == 0
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// Create creates (truncating) the log file at path.
+func Create(path string, cfg Config) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	first := cfg.FirstSeq
+	if first == 0 {
+		first = 1
+	}
+	l := &Log{
+		f:       f,
+		nextSeq: first,
+		window:  cfg.Window,
+		kick:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	l.durCond = sync.NewCond(&l.durMu)
+	l.durable = first - 1
+	if cfg.NoDaemon {
+		close(l.done)
+	} else {
+		go l.daemon()
+	}
+	return l, nil
+}
+
+// Append captures one committed transaction's write set as a redo
+// record, assigning and returning its sequence number. entries may
+// alias pooled storage owned by the caller: the record is fully encoded
+// before Append returns. Durability is asynchronous — the record is on
+// disk only once DurableSeq passes the returned sequence (see
+// WaitDurable).
+//
+// Append is called on the TM commit hot path and does not allocate once
+// the append buffer has grown to its steady-state capacity.
+func (l *Log) Append(entries []footprint.Entry) uint64 {
+	l.mu.Lock()
+	seq := l.nextSeq
+	l.nextSeq++
+	before := len(l.buf)
+	l.buf = appendRecord(l.buf, seq, entries)
+	grew := len(l.buf) - before
+	l.mu.Unlock()
+
+	l.records.Add(1)
+	l.bytes.Add(uint64(grew))
+	if l.window == 0 {
+		select {
+		case l.kick <- struct{}{}:
+		default:
+		}
+	}
+	return seq
+}
+
+// LastSeq returns the highest sequence number assigned so far.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// DurableSeq returns the highest sequence number known fsynced.
+func (l *Log) DurableSeq() uint64 {
+	l.durMu.Lock()
+	defer l.durMu.Unlock()
+	return l.durable
+}
+
+// WaitDurable blocks until every record with sequence ≤ seq is fsynced.
+// With NoDaemon set, it returns only after a caller runs Sync.
+func (l *Log) WaitDurable(seq uint64) {
+	l.durMu.Lock()
+	for l.durable < seq {
+		l.durCond.Wait()
+	}
+	l.durMu.Unlock()
+}
+
+// Sync flushes everything appended so far and fsyncs the file. It is
+// the manual flush for NoDaemon logs and the checkpoint force
+// (checkpoints must not finalize before the log covers them).
+func (l *Log) Sync() error { return l.flush() }
+
+// flush writes and fsyncs all pending records. Serialized by flushMu so
+// the daemon and explicit Syncs do not interleave file writes.
+func (l *Log) flush() error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+
+	l.mu.Lock()
+	pending := l.buf
+	hi := l.nextSeq - 1
+	l.buf = l.scratch[:0] // hand the appenders the (empty) swap buffer
+	l.mu.Unlock()
+	l.scratch = pending[:0] // next flush swaps back
+
+	if len(pending) > 0 {
+		if _, err := l.f.Write(pending); err != nil {
+			return fmt.Errorf("wal: write: %w", err)
+		}
+		l.batches.Add(1)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.fsyncs.Add(1)
+
+	l.durMu.Lock()
+	if hi > l.durable {
+		l.durable = hi
+	}
+	l.durCond.Broadcast()
+	l.durMu.Unlock()
+	return nil
+}
+
+// daemon is the group-commit loop: one flush+fsync per window (or per
+// pending batch when Window is 0).
+func (l *Log) daemon() {
+	defer close(l.done)
+	var tick *time.Ticker
+	if l.window > 0 {
+		tick = time.NewTicker(l.window)
+		defer tick.Stop()
+	}
+	for {
+		if tick != nil {
+			select {
+			case <-l.stop:
+				return
+			case <-tick.C:
+			}
+		} else {
+			select {
+			case <-l.stop:
+				return
+			case <-l.kick:
+			}
+		}
+		l.mu.Lock()
+		dirty := len(l.buf) > 0
+		l.mu.Unlock()
+		if !dirty {
+			continue
+		}
+		if err := l.flush(); err != nil {
+			// Fail-stop: we can no longer honour durability promises.
+			panic(err)
+		}
+	}
+}
+
+// Close stops the daemon, flushes the remainder and closes the file.
+func (l *Log) Close() error {
+	select {
+	case <-l.stop:
+	default:
+		close(l.stop)
+	}
+	<-l.done
+	err := l.flush()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns the activity counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Records: l.records.Load(),
+		Bytes:   l.bytes.Load(),
+		Batches: l.batches.Load(),
+		Fsyncs:  l.fsyncs.Load(),
+	}
+}

@@ -1,0 +1,276 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"sihtm/internal/footprint"
+	"sihtm/internal/memsim"
+)
+
+func entriesOf(pairs ...uint64) []footprint.Entry {
+	if len(pairs)%2 != 0 {
+		panic("pairs must be even")
+	}
+	es := make([]footprint.Entry, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		es = append(es, footprint.Entry{Addr: memsim.Addr(pairs[i]), Val: pairs[i+1]})
+	}
+	return es
+}
+
+// TestRoundTrip appends records, syncs, and replays them back byte-exact.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{NoDaemon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]footprint.Entry{
+		entriesOf(1, 10, 2, 20),
+		entriesOf(3, 30),
+		{}, // empty write set is legal framing (not produced by the hook)
+		entriesOf(4, 40, 5, 50, 6, 60),
+	}
+	for _, es := range want {
+		l.Append(es)
+	}
+	if got := l.LastSeq(); got != uint64(len(want)) {
+		t.Fatalf("LastSeq = %d, want %d", got, len(want))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got [][]footprint.Entry
+	st, err := Replay(path, func(seq uint64, es []footprint.Entry) error {
+		cp := make([]footprint.Entry, len(es))
+		copy(cp, es)
+		got = append(got, cp)
+		if seq != uint64(len(got)) {
+			t.Errorf("seq %d out of order at record %d", seq, len(got))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != len(want) || st.TailBytes != 0 {
+		t.Fatalf("stats %+v, want %d records, no tail", st, len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("record %d: %d entries, want %d", i, len(got[i]), len(want[i]))
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("record %d entry %d: %+v, want %+v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestDurabilityAck: WaitDurable returns only after the record is
+// fsynced, and the daemon acknowledges within the window.
+func TestDurabilityAck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{Window: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	seq := l.Append(entriesOf(1, 1))
+	done := make(chan struct{})
+	go func() {
+		l.WaitDurable(seq)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable did not return within 5s of a 1ms window")
+	}
+	if l.DurableSeq() < seq {
+		t.Fatalf("DurableSeq %d < acknowledged %d", l.DurableSeq(), seq)
+	}
+}
+
+// TestZeroWindow: the immediate-flush mode acknowledges without a timer.
+func TestZeroWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{Window: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.WaitDurable(l.Append(entriesOf(uint64(i), uint64(i))))
+	}
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 10 {
+		t.Fatalf("records = %d, want 10", st.Records)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatal("zero-window log never fsynced")
+	}
+}
+
+// TestGroupCommitBatches: with a wide window, many concurrent appends
+// share few fsyncs.
+func TestGroupCommitBatches(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{Window: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.WaitDurable(l.Append(entriesOf(uint64(w*per+i), 1)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := l.Stats()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != workers*per {
+		t.Fatalf("records = %d, want %d", st.Records, workers*per)
+	}
+	// 400 acked records in ≥20ms batches: far fewer fsyncs than records
+	// is the whole point of group commit. Bound loosely for slow CI.
+	if st.Fsyncs >= st.Records/2 {
+		t.Errorf("fsyncs = %d for %d records; group commit not batching", st.Fsyncs, st.Records)
+	}
+
+	st2, err := Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Records != workers*per || st2.TailBytes != 0 {
+		t.Fatalf("replay %+v, want %d clean records", st2, workers*per)
+	}
+}
+
+// TestTornTail: truncating or corrupting the file mid-record yields a
+// clean prefix and a discarded tail, never garbage records.
+func TestTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{NoDaemon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	sizes := make([]int, n)
+	for i := 0; i < n; i++ {
+		es := entriesOf(uint64(i), uint64(i*7), uint64(i+100), uint64(i*13))
+		l.Append(es)
+		sizes[i] = recordSize(len(es))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncate at every byte offset: replay must return exactly the
+	// records fully contained in the prefix.
+	bounds := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		bounds[i+1] = bounds[i] + sizes[i]
+	}
+	for cut := 0; cut <= len(data); cut += 7 {
+		st, err := ReplayBytes(data[:cut], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRecs := 0
+		for bounds[wantRecs+1] <= cut {
+			wantRecs++
+			if wantRecs == n {
+				break
+			}
+		}
+		if st.Records != wantRecs {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, st.Records, wantRecs)
+		}
+	}
+
+	// Flip a byte inside record k: replay stops before k.
+	for k := 0; k < n; k += 5 {
+		corrupt := bytes.Clone(data)
+		corrupt[bounds[k]+sizes[k]/2] ^= 0xFF
+		st, err := ReplayBytes(corrupt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Records != k {
+			t.Fatalf("corrupt record %d: replayed %d records, want %d", k, st.Records, k)
+		}
+	}
+}
+
+// TestAppendSteadyStateAllocs: once the buffer has grown, Append (the
+// commit hot path) allocates nothing.
+func TestAppendSteadyStateAllocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{NoDaemon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	es := entriesOf(1, 2, 3, 4, 5, 6, 7, 8)
+	for i := 0; i < 4096; i++ { // grow the buffer
+		l.Append(es)
+	}
+	if err := l.Sync(); err != nil { // reset len, keep capacity
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(2000, func() { l.Append(es) })
+	if allocs != 0 {
+		t.Errorf("Append allocates %.2f objects/op at steady state, want 0", allocs)
+	}
+}
+
+// TestFirstSeq: a log continued from a recovered store starts where the
+// history left off, and replay accepts the configured base.
+func TestFirstSeq(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{NoDaemon: true, FirstSeq: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq := l.Append(entriesOf(1, 1)); seq != 100 {
+		t.Fatalf("first seq = %d, want 100", seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Replay(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FirstSeq != 100 || st.Records != 1 {
+		t.Fatalf("replay %+v, want first seq 100", st)
+	}
+}

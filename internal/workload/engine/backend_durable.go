@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"sihtm/internal/durable"
+	"sihtm/internal/tm"
+)
+
+// DurableBackend decorates any Backend with the durability subsystem:
+// the wrapped backend's heap is covered by the store's write-ahead log
+// and checkpoints, and Check additionally forces the log so a post-run
+// verification (or crash) never races an unflushed buffer. The wrapper
+// adds nothing to the access path — durability is captured at the TM
+// commit hook, not in the backend — so sessions pass straight through;
+// what the wrapper contributes is the pairing of a Backend with its
+// Store, which is what scenario setup, post-run recovery checks and the
+// `repro recover` rebuild all need to agree on.
+type DurableBackend struct {
+	inner Backend
+	store *durable.Store
+}
+
+// NewDurableBackend pairs a backend with the store persisting its heap.
+func NewDurableBackend(inner Backend, store *durable.Store) *DurableBackend {
+	return &DurableBackend{inner: inner, store: store}
+}
+
+// Name implements Backend ("durable-hashmap", "durable-btree").
+func (b *DurableBackend) Name() string { return "durable-" + b.inner.Name() }
+
+// Unwrap returns the decorated backend (scenario-level checks
+// type-switch on the concrete backends).
+func (b *DurableBackend) Unwrap() Backend { return b.inner }
+
+// Store returns the durability manager.
+func (b *DurableBackend) Store() *durable.Store { return b.store }
+
+// NewSession implements Backend by delegating: per-thread session state
+// is orthogonal to durability.
+func (b *DurableBackend) NewSession() Session { return b.inner.NewSession() }
+
+// Direct implements Backend by delegating. Direct writes (Populate)
+// are deliberately not logged: they form the deterministic base image
+// recovery rebuilds before replaying the log.
+func (b *DurableBackend) Direct() tm.Ops { return b.inner.Direct() }
+
+// Check implements Backend: the inner structural invariants plus a log
+// force, so everything committed before the check is durable when the
+// caller proceeds to recovery verification.
+func (b *DurableBackend) Check() error {
+	if err := b.inner.Check(); err != nil {
+		return err
+	}
+	return b.store.Sync()
+}
+
+var _ Backend = (*DurableBackend)(nil)
