@@ -56,6 +56,10 @@ func main() {
 		err = cmdDurable(os.Args[2:])
 	case "recover":
 		err = cmdRecover(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -81,7 +85,28 @@ commands:
   bench                     run the hot-path microbenchmark suite (BENCH_hotpath.json)
   durable                   run a durable workload against a WAL directory (crashable)
   recover                   crash-replay a durable run directory and check invariants
+  serve                     run the networked transaction server (SIGTERM drains)
+  loadgen                   drive the net-* cells against a live server, write results
   compare                   compare two result files for regressions
+
+serve flags:
+  --addr=HOST:PORT          listen address (default 127.0.0.1:7654)
+  --scenario=ycsb-a         hosted workload build: ycsb-a|ycsb-b|ycsb-c
+  --system=si-htm           concurrency control (default si-htm)
+  --scale=ci|quick|paper    workload sizing preset (default ci)
+  --shards=N                executor goroutines (default 4)
+  --batch=N                 admission bound: max ops per transaction (default 32)
+  --admit-wait=DUR          admission grace: wait for fuller batches (default 0)
+  --durable-dir=DIR         serve durably (WAL + checkpoints + meta.json in DIR)
+  --window=DUR              durable group-commit fsync window (default 1ms)
+  --checkpoint-every=DUR    fuzzy checkpoint interval (default 1s; 0 disables)
+
+loadgen flags:
+  --addr=HOST:PORT          server address (required)
+  --id=a,b                  net entries (default net-ycsb-a,net-batch-window,net-durable-ycsb-a)
+  --scale=ci|quick|paper    client scale: thread ladder caps + run windows (default ci)
+  --out=FILE                JSON results (default BENCH_repro.json)
+  --md=FILE                 markdown tables ('-' = stdout, '' = none; default BENCH_repro.md)
 
 durable flags:
   --dir=DIR                 run directory (meta.json + wal.log + heap.ckpt)
@@ -131,7 +156,7 @@ func cmdList(args []string) error {
 		return err
 	}
 	entries := experiments.Registry()
-	fmt.Printf("%-11s %-6s %-9s %-28s %s\n", "ID", "FIGURE", "WORKLOAD", "SYSTEMS", "PARAMS")
+	fmt.Printf("%-18s %-10s %-6s %-9s %-28s %s\n", "ID", "GROUP", "FIGURE", "WORKLOAD", "SYSTEMS", "PARAMS")
 	for _, e := range entries {
 		if *figure != 0 && e.Figure != *figure {
 			continue
@@ -140,12 +165,13 @@ func cmdList(args []string) error {
 		if e.Figure > 0 {
 			fig = fmt.Sprintf("%d/%s", e.Figure, e.Panel)
 		}
-		fmt.Printf("%-11s %-6s %-9s %-28s %s\n", e.ID, fig, e.Workload, strings.Join(e.Systems, ","), e.Params)
+		fmt.Printf("%-18s %-10s %-6s %-9s %-28s %s\n", e.ID, e.Group(), fig, e.Workload, strings.Join(e.Systems, ","), e.Params)
 		if len(e.ThreadLadder) > 0 {
-			fmt.Printf("%-11s %-6s %-9s thread ladder %v\n", "", "", "", e.ThreadLadder)
+			fmt.Printf("%-18s %-10s %-6s %-9s thread ladder %v\n", "", "", "", "", e.ThreadLadder)
 		}
 	}
-	fmt.Printf("\n%d entries; scales: %s\n", len(entries), strings.Join(experiments.ScaleNames(), ", "))
+	fmt.Printf("\n%d entries; selector groups: %s; scales: %s\n",
+		len(entries), strings.Join(experiments.Groups(), ", "), strings.Join(experiments.ScaleNames(), ", "))
 	return nil
 }
 

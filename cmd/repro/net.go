@@ -1,0 +1,161 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	"sihtm/internal/experiments"
+	"sihtm/internal/results"
+)
+
+// cmdServe runs the networked service layer: build one scenario
+// (optionally durable), listen, serve until SIGTERM/SIGINT, then drain
+// gracefully — in-flight commits quiesce, replies flush, and a durable
+// store writes a final checkpoint — and exit 0.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:7654", "listen address")
+		scenario  = fs.String("scenario", "ycsb-a", "hosted workload build: ycsb-a|ycsb-b|ycsb-c")
+		system    = fs.String("system", "si-htm", "concurrency control")
+		scaleName = fs.String("scale", "ci", "workload sizing preset")
+		shards    = fs.Int("shards", 4, "executor goroutines (transaction threads)")
+		batch     = fs.Int("batch", 32, "admission bound: max ops per transaction")
+		admitWait = fs.Duration("admit-wait", 0, "admission grace: wait this long for a fuller batch")
+		dir       = fs.String("durable-dir", "", "serve durably: WAL + checkpoints + meta.json in DIR")
+		window    = fs.Duration("window", time.Millisecond, "durable group-commit fsync window")
+		ckptEvery = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
+		quiet     = fs.Bool("quiet", false, "suppress the per-second stats line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ns, err := experiments.StartNetServer(experiments.ServeConfig{
+		Addr:       *addr,
+		Scenario:   *scenario,
+		System:     *system,
+		ScaleName:  *scaleName,
+		Shards:     *shards,
+		BatchMax:   *batch,
+		AdmitWait:  *admitWait,
+		DurableDir: *dir,
+		Window:     *window,
+		CkptEvery:  *ckptEvery,
+	})
+	if err != nil {
+		return err
+	}
+	durability := "volatile"
+	if *dir != "" {
+		durability = fmt.Sprintf("durable (%s, window %s)", *dir, *window)
+	}
+	fmt.Fprintf(os.Stderr, "serve: %s on %s, %d shards, batch<=%d, %s — listening on %s\n",
+		*scenario, *system, *shards, *batch, durability, ns.Addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	served := make(chan error, 1)
+	go func() { served <- ns.Srv.Serve() }()
+
+	var report <-chan time.Time
+	if !*quiet {
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		report = t.C
+	}
+	start := time.Now()
+	for {
+		select {
+		case <-report:
+			st := ns.Srv.Hist().Snapshot()
+			fmt.Fprintf(os.Stderr, "t=%s ops=%d p50=%s p99=%s\n",
+				time.Since(start).Round(time.Second), st.Count(), st.Quantile(0.5), st.Quantile(0.99))
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "serve: %v — draining\n", sig)
+			if err := ns.Shutdown(); err != nil {
+				return fmt.Errorf("drain: %w", err)
+			}
+			if err := <-served; err != nil {
+				return err
+			}
+			fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+			return nil
+		case err := <-served:
+			// Listener failed outside a drain.
+			ns.Shutdown()
+			return err
+		}
+	}
+}
+
+// cmdLoadgen drives the networked registry cells against a live `repro
+// serve` address and writes the usual BENCH artifacts.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	var (
+		addr      = fs.String("addr", "", "server address (required; see 'repro serve')")
+		ids       = fs.String("id", strings.Join(experiments.NetEntryIDs(), ","), "net entries to measure")
+		scaleName = fs.String("scale", "ci", "client scale preset (ladder caps, run windows)")
+		out       = fs.String("out", "BENCH_repro.json", "JSON output path")
+		md        = fs.String("md", "BENCH_repro.md", "markdown output path ('-' = stdout, '' = none)")
+		quiet     = fs.Bool("quiet", false, "suppress per-point progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("loadgen needs --addr")
+	}
+	sc, err := experiments.ScaleByName(*scaleName)
+	if err != nil {
+		return err
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	var recs []results.Record
+	runErr := experiments.RunLoadgen(*addr, strings.Split(*ids, ","), sc,
+		func(r results.Record) { recs = append(recs, r) }, progress)
+
+	if len(recs) > 0 {
+		rep := &results.Report{
+			Tool:       "cmd/repro loadgen",
+			Scale:      *scaleName,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Machine:    experiments.MachineDescription(),
+			Partial:    runErr != nil,
+			Records:    recs,
+		}
+		rep.Sort()
+		if *out != "" {
+			if err := rep.WriteFile(*out); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d records)\n", *out, len(recs))
+		}
+		switch *md {
+		case "":
+		case "-":
+			results.MarkdownReport(os.Stdout, rep, experiments.Titles())
+		default:
+			f, err := os.Create(*md)
+			if err != nil {
+				return err
+			}
+			results.MarkdownReport(f, rep, experiments.Titles())
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", *md)
+		}
+	}
+	return runErr
+}

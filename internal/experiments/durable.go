@@ -33,15 +33,61 @@ const durableWindowDefault = 500 * time.Microsecond
 // durableWindows is the fsync-window ladder of the group-commit sweep.
 var durableWindows = []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 5 * time.Millisecond}
 
+// checkpointer periodically writes fuzzy checkpoints for a store until
+// halted — the one lifecycle shared by the durable cells and the
+// long-running `repro serve` instance.
+type checkpointer struct {
+	stop chan struct{}
+	done chan struct{}
+	err  error
+}
+
+// startCheckpointer spawns the ticker goroutine. Checkpoints run
+// concurrently with the measured workload, which is the point:
+// checkpoints must not perturb correctness.
+func startCheckpointer(store *durable.Store, path string, every time.Duration) *checkpointer {
+	c := &checkpointer{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-t.C:
+				if _, err := store.WriteCheckpoint(path); err != nil {
+					c.err = err
+					return
+				}
+			}
+		}
+	}()
+	return c
+}
+
+// halt stops the ticker goroutine and reports any checkpoint failure.
+// Safe on nil and after a previous halt.
+func (c *checkpointer) halt() error {
+	if c == nil {
+		return nil
+	}
+	select {
+	case <-c.done:
+	default:
+		close(c.stop)
+		<-c.done
+	}
+	return c.err
+}
+
 // durableCell is the per-point scaffolding shared by the durable
 // entries: a transient directory holding wal.log + heap.ckpt, the
 // store, and a background fuzzy checkpointer.
 type durableCell struct {
-	dir      string
-	store    *durable.Store
-	ckptStop chan struct{}
-	ckptDone chan struct{}
-	ckptErr  error
+	dir   string
+	store *durable.Store
+	ckpt  *checkpointer
 }
 
 func openDurableCell(heap *memsim.Heap, m *htm.Machine, window time.Duration) (*durableCell, error) {
@@ -61,38 +107,14 @@ func openDurableCell(heap *memsim.Heap, m *htm.Machine, window time.Duration) (*
 func (c *durableCell) logPath() string  { return filepath.Join(c.dir, "wal.log") }
 func (c *durableCell) ckptPath() string { return filepath.Join(c.dir, "heap.ckpt") }
 
-// startCheckpointer writes fuzzy checkpoints on an interval until
-// stopped — concurrently with the measured workload, which is the
-// point: checkpoints must not perturb correctness.
 func (c *durableCell) startCheckpointer(every time.Duration) {
-	c.ckptStop = make(chan struct{})
-	c.ckptDone = make(chan struct{})
-	go func() {
-		defer close(c.ckptDone)
-		t := time.NewTicker(every)
-		defer t.Stop()
-		for {
-			select {
-			case <-c.ckptStop:
-				return
-			case <-t.C:
-				if _, err := c.store.WriteCheckpoint(c.ckptPath()); err != nil {
-					c.ckptErr = err
-					return
-				}
-			}
-		}
-	}()
+	c.ckpt = startCheckpointer(c.store, c.ckptPath(), every)
 }
 
 func (c *durableCell) stopCheckpointer() error {
-	if c.ckptStop == nil {
-		return nil
-	}
-	close(c.ckptStop)
-	<-c.ckptDone
-	c.ckptStop = nil
-	return c.ckptErr
+	err := c.ckpt.halt()
+	c.ckpt = nil
+	return err
 }
 
 func (c *durableCell) close() {

@@ -19,8 +19,8 @@ func quickScale() Scale {
 
 func TestRegistryIsComplete(t *testing.T) {
 	entries := Registry()
-	if len(entries) != 24 { // 10 figure panels + 6 scenarios + 3 durable + 5 ablations
-		t.Fatalf("Registry() = %d entries, want 24", len(entries))
+	if len(entries) != 27 { // 10 figure panels + 6 scenarios + 3 durable + 3 net + 5 ablations
+		t.Fatalf("Registry() = %d entries, want 27", len(entries))
 	}
 	seen := map[string]bool{}
 	figures := map[int]bool{}
@@ -85,9 +85,9 @@ func TestLookupAndSelect(t *testing.T) {
 		sel  string
 		want int
 	}{
-		{"all", 24},
+		{"all", 27},
 		{"figures", 10},
-		{"scenarios", 9},
+		{"scenarios", 6},
 		{"ablations", 5},
 		{"fig6", 2},
 		{"6", 2},
@@ -97,8 +97,10 @@ func TestLookupAndSelect(t *testing.T) {
 		{"vacation", 2},
 		{"zipf", 1},
 		{"durable", 3},
+		{"net", 3},
 		{"fig6,fig9-low,capacity", 4},
 		{"ycsb,vacation,zipf", 6},
+		{"scenarios,durable,net", 12},
 	}
 	for _, c := range cases {
 		got, err := Select(c.sel)

@@ -1,0 +1,749 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/durable"
+	"sihtm/internal/harness"
+	"sihtm/internal/results"
+	"sihtm/internal/server"
+	"sihtm/internal/stats"
+	"sihtm/internal/topology"
+	"sihtm/internal/wire"
+	"sihtm/internal/workload/engine"
+	"sihtm/internal/workload/ycsb"
+)
+
+// The net scenario entries measure the workload engine over the
+// networked service layer: the same YCSB specs, driven through
+// engine.RemoteBackend against a wire-protocol server whose admission
+// stage coalesces pipelined client transactions into size-bounded
+// hardware transactions. Throughput and commits are measured
+// client-side; the abort taxonomy, the achieved batch size and the
+// per-op latency percentiles come from the server's statistics,
+// differenced over the measurement window.
+//
+// Each registry cell self-hosts a loopback server, so `repro run`
+// covers the whole layer hermetically; `repro loadgen` reuses the same
+// point runner against an external `repro serve` address.
+
+// netBatchDefault is the admission bound (ops per transaction) of the
+// net-ycsb-a and net-durable-ycsb-a entries.
+const netBatchDefault = 32
+
+// netBatches is the admission-bound ladder of the net-batch-window
+// sweep: from no coalescing to far past the 64-line TMCAM.
+var netBatches = []int{1, 4, 16, 64, 256}
+
+// netWindowThreads is the client worker count of the batch sweep, and
+// netWindowShards the (smaller) executor count its self-hosted servers
+// run: concentrating the pipelined stream onto two queues is what lets
+// the achieved batch size actually track the swept bound instead of
+// being capped by per-shard queue depth.
+const (
+	netWindowThreads = 8
+	netWindowShards  = 2
+)
+
+// netAdmitWait is the admission grace the batch sweep serves with: an
+// executor holding a non-full batch waits this long for straggling
+// pipelined requests, so the swept bound is actually approached instead
+// of being limited by instantaneous queue depth.
+const netAdmitWait = 100 * time.Microsecond
+
+// NetPoint describes one remote measurement.
+type NetPoint struct {
+	// Scenario names the hosted YCSB build ("ycsb-a", "ycsb-b", "ycsb-c").
+	Scenario string
+	// System is the server's concurrency control; it labels the records.
+	System string
+	// Addr is the server address; empty self-hosts a loopback server for
+	// the point (build, populate, serve, measure, tear down).
+	Addr string
+	// Threads is the client worker (session) count.
+	Threads int
+	// Shards is the self-hosted server's executor count (0 = Threads).
+	// Fewer shards than clients concentrate the pipelined stream onto
+	// fewer queues, which is what lets admission batches approach large
+	// bounds: in-flight ops are capped by clients × ops/tx, and that
+	// budget spreads across the shards.
+	Shards int
+	// Conns is the client connection-pool size (0 = ⌈Threads/2⌉, so
+	// sessions share pipelined connections).
+	Conns int
+	// Batch sets the server's admission bound for the point (0 keeps the
+	// server's current bound).
+	Batch int
+	// AdmitWait sets the server's admission grace period for the point
+	// (0 keeps the server's current value).
+	AdmitWait time.Duration
+	// Durable (self-host only) attaches a WAL store, checkpoints fuzzily
+	// during the run, and verifies digest-exact recovery afterwards.
+	Durable bool
+	// Window is the durable group-commit fsync window.
+	Window time.Duration
+}
+
+// NetExtras carries the measurements that exist only over the network.
+type NetExtras struct {
+	// P50 and P99 are per-op service-latency percentiles (server-side,
+	// admission to reply encode), over the measurement window.
+	P50, P99 time.Duration
+	// BatchAvg is the achieved ops-per-transaction of the admission
+	// batching during the window.
+	BatchAvg float64
+}
+
+// netSpec rebuilds the client-side Spec matching a server build: the
+// same keyspace sizing rule build() uses, so keys drawn by remote
+// workers always exist server-side.
+func netSpec(y ycsbSpec, sc Scale, threads int) (engine.Spec, error) {
+	return ycsb.Spec(ycsb.Config{
+		Workload: y.workload,
+		Keys:     scaledKeys(y.baseKeys, sc, 128),
+		OpsPerTx: y.opsPerTx,
+		Seed:     uint64(threads)*19 + 5,
+	})
+}
+
+// ycsbSpecByID resolves a ycsb scenario id.
+func ycsbSpecByID(id string) (ycsbSpec, error) {
+	for _, y := range ycsbSpecs {
+		if y.id == id {
+			return y, nil
+		}
+	}
+	return ycsbSpec{}, fmt.Errorf("experiments: unknown net scenario %q (known: ycsb-a, ycsb-b, ycsb-c)", id)
+}
+
+// RunNetPoint executes one remote measurement and returns the merged
+// harness result: client-observed commits and throughput, server-side
+// abort taxonomy, plus the latency extras.
+func RunNetPoint(p NetPoint, sc Scale) (harness.Result, NetExtras, error) {
+	sc = sc.withDefaults()
+	fail := func(err error) (harness.Result, NetExtras, error) { return harness.Result{}, NetExtras{}, err }
+	y, err := ycsbSpecByID(p.Scenario)
+	if err != nil {
+		return fail(err)
+	}
+	if p.Threads <= 0 {
+		return fail(fmt.Errorf("experiments: net point needs a positive thread count"))
+	}
+	conns := p.Conns
+	if conns <= 0 {
+		conns = (p.Threads + 1) / 2
+	}
+
+	// Self-host a loopback server when no address is given.
+	addr := p.Addr
+	var host *netHost
+	if addr == "" {
+		host, err = startNetHost(y, p, sc)
+		if err != nil {
+			return fail(err)
+		}
+		defer host.close()
+		addr = host.addr.String()
+	}
+
+	rb, err := engine.DialRemote(addr, conns)
+	if err != nil {
+		return fail(err)
+	}
+	defer rb.Close()
+	if p.Batch > 0 || p.AdmitWait > 0 {
+		ctrl := wire.Ctrl{BatchMax: p.Batch}
+		if p.AdmitWait > 0 {
+			ctrl.AdmitWaitUs = int(p.AdmitWait / time.Microsecond)
+		}
+		if err := rb.Ctrl(ctrl); err != nil {
+			return fail(err)
+		}
+	}
+	spec, err := netSpec(y, sc, p.Threads)
+	if err != nil {
+		return fail(err)
+	}
+	d, err := engine.New(spec, rb)
+	if err != nil {
+		return fail(err)
+	}
+	csys := engine.NewRemoteSystem(p.System, p.Threads)
+
+	// The run loop mirrors harness.Run but snapshots BOTH sides at the
+	// window edges, so the server-side abort/latency delta covers exactly
+	// the client's measurement window.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	mk := d.Workers(csys)
+	for id := 0; id < p.Threads; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			op := mk(id)
+			for !stop.Load() {
+				op()
+			}
+		}(id)
+	}
+	// Workers must be quiesced before any connection teardown (the
+	// session protocol panics on transport failure), so every exit path
+	// below stops them first.
+	stopWorkers := func() { stop.Store(true); wg.Wait() }
+	time.Sleep(sc.Warmup)
+	sv0, err := rb.Stats()
+	if err != nil {
+		stopWorkers()
+		return fail(err)
+	}
+	cl0 := csys.Collector().Snapshot()
+	start := time.Now()
+	time.Sleep(sc.Measure)
+	sv1, err := rb.Stats()
+	elapsed := time.Since(start)
+	cl1 := csys.Collector().Snapshot()
+	stopWorkers()
+	if err != nil {
+		return fail(err)
+	}
+
+	client := cl1.Sub(cl0)
+	srvDelta := sv1.Stats.Sub(sv0.Stats)
+	merged := stats.Stats{
+		// Client side: committed transactions (the throughput basis) and
+		// their read-only share.
+		Commits:   client.Commits,
+		CommitsRO: client.CommitsRO,
+		// Server side: abort taxonomy, fall-backs and wait spins of the
+		// batched transactions that served them.
+		Aborts:    srvDelta.Aborts,
+		Fallbacks: srvDelta.Fallbacks,
+		WaitSpins: srvDelta.WaitSpins,
+	}
+	hr := harness.Result{
+		System:     p.System,
+		Threads:    p.Threads,
+		Elapsed:    elapsed,
+		Stats:      merged,
+		Throughput: float64(client.Commits) / elapsed.Seconds(),
+	}
+	hist := sv1.Hist.Sub(sv0.Hist)
+	extras := NetExtras{P50: hist.Quantile(0.5), P99: hist.Quantile(0.99)}
+	if batches := sv1.Batches - sv0.Batches; batches > 0 {
+		extras.BatchAvg = float64(sv1.BatchedOps-sv0.BatchedOps) / float64(batches)
+	}
+
+	// Server-side structural check over the wire (quiesces executors).
+	if err := rb.Check(); err != nil {
+		return fail(err)
+	}
+	// Self-hosted points verify in-process invariants (population
+	// conservation) and, durably, digest-exact recovery.
+	if host != nil {
+		if err := host.verify(y, p, sc); err != nil {
+			return fail(err)
+		}
+	}
+	return hr, extras, nil
+}
+
+// netHost is one self-hosted loopback server and its in-process guts.
+type netHost struct {
+	srv     *server.Server
+	addr    net.Addr
+	backend engine.Backend
+	keys    int
+	cell    *durableCell
+	served  chan error
+}
+
+// startNetHost builds the scenario, optionally attaches durability, and
+// serves it on an ephemeral loopback port.
+func startNetHost(y ycsbSpec, p NetPoint, sc Scale) (*netHost, error) {
+	m, backend, d, err := y.build(sc, p.Threads)
+	if err != nil {
+		return nil, err
+	}
+	shards := p.Shards
+	if shards <= 0 {
+		shards = p.Threads
+	}
+	heap := m.Heap()
+	sys, err := NewSystem(p.System, m, heap, shards)
+	if err != nil {
+		return nil, err
+	}
+	h := &netHost{backend: backend, keys: d.Spec().Keys, served: make(chan error, 1)}
+	cfg := server.Config{
+		Backend:  backend,
+		System:   sys,
+		Shards:   shards,
+		BatchMax: netBatchDefault,
+		Scenario: y.id,
+	}
+	if p.Durable {
+		h.cell, err = openDurableCell(heap, m, p.Window)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Backend = engine.NewDurableBackend(backend, h.cell.store)
+		cfg.System = h.cell.store.Attach(sys, m)
+		cfg.Store = h.cell.store
+		// No drain-time checkpoint: recovery must reconstruct the live
+		// heap from the fuzzy checkpoint plus the log prefix alone — the
+		// same image a SIGKILL would leave behind.
+		h.cell.startCheckpointer(sc.Measure / 3)
+	}
+	h.srv, err = server.New(cfg)
+	if err != nil {
+		if h.cell != nil {
+			h.cell.close()
+		}
+		return nil, err
+	}
+	h.addr, err = h.srv.Listen("127.0.0.1:0")
+	if err != nil {
+		if h.cell != nil {
+			h.cell.close()
+		}
+		return nil, err
+	}
+	go func() { h.served <- h.srv.Serve() }()
+	return h, nil
+}
+
+// verify drains the server and re-checks invariants in-process; durable
+// hosts additionally prove digest-exact recovery: rebuild the
+// deterministic base, restore fuzzy checkpoint + log, compare to the
+// live heap word for word, and re-run the workload checks on the
+// recovered state.
+func (h *netHost) verify(y ycsbSpec, p NetPoint, sc Scale) error {
+	if err := h.srv.Drain(); err != nil {
+		return err
+	}
+	if err := <-h.served; err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if h.cell != nil {
+		if err := h.cell.stopCheckpointer(); err != nil {
+			return fmt.Errorf("checkpointer: %w", err)
+		}
+	}
+	if err := engineCheck(h.backend, h.keys); err != nil {
+		return err
+	}
+	if h.cell == nil {
+		return nil
+	}
+	m2, backend2, d2, err := y.build(sc, p.Threads)
+	if err != nil {
+		return err
+	}
+	if _, err := durable.Recover(m2.Heap(), h.cell.ckptPath(), h.cell.logPath()); err != nil {
+		return err
+	}
+	if err := compareHeaps(h.cell.store.Heap(), m2.Heap()); err != nil {
+		return err
+	}
+	if err := engineCheck(backend2, d2.Spec().Keys); err != nil {
+		return fmt.Errorf("recovered state: %w", err)
+	}
+	return nil
+}
+
+// close tears the host down (idempotent with verify's drain).
+func (h *netHost) close() {
+	h.srv.Drain()
+	if h.cell != nil {
+		h.cell.stopCheckpointer()
+		h.cell.close()
+	}
+}
+
+// recordNet stamps a net measurement with its registry coordinates and
+// latency extras.
+func (e Entry) recordNet(param string, hr harness.Result, ex NetExtras) results.Record {
+	r := e.record(param, hr)
+	r.LatencyP50Us = float64(ex.P50) / float64(time.Microsecond)
+	r.LatencyP99Us = float64(ex.P99) / float64(time.Microsecond)
+	r.BatchAvgOps = ex.BatchAvg
+	return r
+}
+
+// netYCSBEntry is YCSB-A over the wire across the thread ladder: the
+// full service path — pipelined connections, admission batching,
+// per-shard execution — compared across concurrency controls.
+func netYCSBEntry() Entry {
+	e := Entry{
+		ID:           "net-ycsb-a",
+		Title:        "Networked YCSB-A: remote driver over the wire protocol, admission-batched transactions",
+		Workload:     "net",
+		Systems:      scenarioSystems,
+		ThreadLadder: topology.PaperThreadLadder,
+		Params:       fmt.Sprintf("ycsb-a over loopback batch=%d conns=threads/2", netBatchDefault),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		for _, n := range sc.threads(topology.PaperThreadLadder) {
+			hr, ex, err := RunNetPoint(NetPoint{
+				Scenario: "ycsb-a", System: system, Threads: n, Batch: netBatchDefault,
+			}, sc)
+			if err != nil {
+				return fmt.Errorf("net-ycsb-a %s/%d: %w", system, n, err)
+			}
+			hook(e.recordNet("", hr, ex))
+		}
+		return nil
+	}
+	return e
+}
+
+// netWindowEntry is the admission-batch sweep: fixed client count, the
+// server's per-transaction op bound swept from 1 (no coalescing) to 256
+// (footprint far past the 64-line TMCAM). Growing batches amortize
+// begin/commit over more client ops but push plain HTM up the capacity
+// cliff and onto the serial fall-back, while SI-HTM's ROTs keep read
+// footprints untracked — the paper's capacity trade-off, measured
+// through the service layer with client-visible p50/p99 latency.
+func netWindowEntry() Entry {
+	e := Entry{
+		ID:       "net-batch-window",
+		Title:    fmt.Sprintf("Admission-batch sweep: throughput and p50/p99 latency vs batch bound (%d client threads)", netWindowThreads),
+		Workload: "net",
+		Systems:  []string{"si-htm", "htm"},
+		Params: fmt.Sprintf("ycsb-a over loopback batches=%v threads=%d shards=%d admit-wait=%s",
+			netBatches, netWindowThreads, netWindowShards, netAdmitWait),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		n := netWindowThreads
+		if sc.MaxThreads > 0 && n > sc.MaxThreads {
+			n = sc.MaxThreads
+		}
+		for _, batch := range netBatches {
+			hr, ex, err := RunNetPoint(NetPoint{
+				Scenario: "ycsb-a", System: system, Threads: n, Shards: netWindowShards, Batch: batch,
+				AdmitWait: netAdmitWait,
+			}, sc)
+			if err != nil {
+				return fmt.Errorf("net-batch-window %s/batch=%d: %w", system, batch, err)
+			}
+			hook(e.recordNet(fmt.Sprintf("batch=%d", batch), hr, ex))
+		}
+		return nil
+	}
+	return e
+}
+
+// netDurableEntry is durable YCSB-A over the wire: every reply
+// acknowledges a group-commit fsync, fuzzy checkpoints run under
+// traffic, and each point proves digest-exact recovery of the live heap
+// from checkpoint + log.
+func netDurableEntry() Entry {
+	e := Entry{
+		ID:           "net-durable-ycsb-a",
+		Title:        "Networked durable YCSB-A: replies acknowledge group-commit fsyncs, digest-exact recovery per point",
+		Workload:     "net",
+		Systems:      scenarioSystems,
+		ThreadLadder: topology.PaperThreadLadder,
+		Params:       fmt.Sprintf("ycsb-a over loopback batch=%d window=%s ack=fsync ckpt=fuzzy", netBatchDefault, durableWindowDefault),
+	}
+	e.run = func(system string, sc Scale, hook func(results.Record)) error {
+		sc = sc.withDefaults()
+		for _, n := range sc.threads(topology.PaperThreadLadder) {
+			hr, ex, err := RunNetPoint(NetPoint{
+				Scenario: "ycsb-a", System: system, Threads: n, Batch: netBatchDefault,
+				Durable: true, Window: durableWindowDefault,
+			}, sc)
+			if err != nil {
+				return fmt.Errorf("net-durable-ycsb-a %s/%d: %w", system, n, err)
+			}
+			hook(e.recordNet("", hr, ex))
+		}
+		return nil
+	}
+	return e
+}
+
+// netEntries builds the networked scenario entries in presentation
+// order.
+func netEntries() []Entry {
+	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry()}
+}
+
+// NetEntryIDs lists the networked registry entries `repro loadgen` can
+// drive against an external server.
+func NetEntryIDs() []string { return []string{"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a"} }
+
+// ServeConfig assembles `repro serve`: a long-running wire server
+// hosting one scenario build.
+type ServeConfig struct {
+	// Addr is the listen address (e.g. "127.0.0.1:7654").
+	Addr string
+	// Scenario is the hosted build ("ycsb-a", "ycsb-b", "ycsb-c");
+	// durable serving requires "ycsb-a" (the recovery pipeline's
+	// deterministic rebuild covers it).
+	Scenario string
+	// System is the concurrency control.
+	System string
+	// ScaleName sizes the build and labels TStats replies.
+	ScaleName string
+	// Shards is the executor count; the build's deterministic seed
+	// derives from it, so recovery must use the same value (persisted in
+	// meta.json).
+	Shards int
+	// BatchMax is the initial admission bound.
+	BatchMax int
+	// AdmitWait is the initial admission grace period.
+	AdmitWait time.Duration
+	// DurableDir, when set, makes the server durable: wal.log +
+	// heap.ckpt + meta.json live there, mirroring `repro durable` run
+	// directories so `repro recover` replays them unchanged.
+	DurableDir string
+	// Window is the durable group-commit window.
+	Window time.Duration
+	// CkptEvery is the fuzzy checkpoint interval (0 disables periodic
+	// checkpoints; the drain-time checkpoint still happens).
+	CkptEvery time.Duration
+}
+
+// NetServer is a running `repro serve` instance.
+type NetServer struct {
+	// Srv is the wire server (Serve blocks on it).
+	Srv *server.Server
+	// Addr is the bound listen address.
+	Addr net.Addr
+
+	store *durable.Store
+	cfg   ServeConfig
+	ckpt  *checkpointer
+}
+
+// StartNetServer builds the scenario (populated, optionally durable)
+// and binds the listener. The caller runs Serve and, on shutdown,
+// Shutdown.
+func StartNetServer(cfg ServeConfig) (*NetServer, error) {
+	sc, err := ScaleByName(cfg.ScaleName)
+	if err != nil {
+		return nil, err
+	}
+	sc = sc.withDefaults()
+	y, err := ycsbSpecByID(cfg.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("experiments: serve needs a positive shard count")
+	}
+	m, backend, _, err := y.build(sc, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+	heap := m.Heap()
+	sys, err := NewSystem(cfg.System, m, heap, cfg.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	ns := &NetServer{cfg: cfg}
+	scfg := server.Config{
+		Backend:   backend,
+		System:    sys,
+		Shards:    cfg.Shards,
+		BatchMax:  cfg.BatchMax,
+		AdmitWait: cfg.AdmitWait,
+		Scenario:  cfg.Scenario,
+		Scale:     cfg.ScaleName,
+	}
+	if cfg.DurableDir != "" {
+		if cfg.Scenario != "ycsb-a" {
+			return nil, fmt.Errorf("experiments: durable serving supports scenario ycsb-a, not %q", cfg.Scenario)
+		}
+		dir := cfg.DurableDir
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+		// A fresh serve truncates wal.log; a checkpoint left by a previous
+		// run belongs to a different history (see StartDurable).
+		for _, stale := range []string{ckptPath(dir), ckptPath(dir) + ".tmp"} {
+			if err := os.Remove(stale); err != nil && !os.IsNotExist(err) {
+				return nil, err
+			}
+		}
+		meta := DurableMeta{
+			Scenario: cfg.Scenario,
+			System:   cfg.System,
+			Scale:    cfg.ScaleName,
+			Threads:  cfg.Shards,
+			WindowNS: int64(cfg.Window),
+		}
+		mj, err := json.MarshalIndent(meta, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(metaPath(dir), append(mj, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		store, err := durable.Open(heap, logPath(dir), m.Topology().MaxThreads(),
+			durable.Config{Window: cfg.Window, WaitAck: true})
+		if err != nil {
+			return nil, err
+		}
+		ns.store = store
+		scfg.Backend = engine.NewDurableBackend(backend, store)
+		scfg.System = store.Attach(sys, m)
+		scfg.Store = store
+		scfg.CheckpointPath = ckptPath(dir)
+	}
+	ns.Srv, err = server.New(scfg)
+	if err != nil {
+		if ns.store != nil {
+			ns.store.Close()
+		}
+		return nil, err
+	}
+	ns.Addr, err = ns.Srv.Listen(cfg.Addr)
+	if err != nil {
+		if ns.store != nil {
+			ns.store.Close()
+		}
+		return nil, err
+	}
+	if ns.store != nil && cfg.CkptEvery > 0 {
+		ns.ckpt = startCheckpointer(ns.store, ckptPath(cfg.DurableDir), cfg.CkptEvery)
+	}
+	return ns, nil
+}
+
+// Shutdown drains gracefully: the fuzzy checkpointer stops first (so
+// it cannot race Drain's final checkpoint on the same path), then
+// in-flight commits quiesce, replies flush, and the durable store
+// writes the final checkpoint and closes.
+func (ns *NetServer) Shutdown() error {
+	err := ns.ckpt.halt()
+	ns.ckpt = nil
+	if derr := ns.Srv.Drain(); err == nil {
+		err = derr
+	}
+	if ns.store != nil {
+		if cerr := ns.store.Close(); err == nil {
+			err = cerr
+		}
+		ns.store = nil
+	}
+	return err
+}
+
+// runLoadgenBatchSweep sweeps the admission-batch bound against a live
+// server, restoring the operator's knobs afterwards even when a point
+// fails mid-sweep (the server outlives the load generator).
+func runLoadgenBatchSweep(addr string, e Entry, st wire.ServerStats, sc, buildSc Scale,
+	hook func(results.Record), note func(string, ...any)) (err error) {
+	defer func() {
+		// Put the knobs back where the operator set them.
+		restore, derr := engine.DialRemote(addr, 1)
+		if derr == nil {
+			wait := st.AdmitWaitUs
+			if wait == 0 {
+				wait = -1 // clear back to no grace
+			}
+			derr = restore.Ctrl(wire.Ctrl{BatchMax: st.BatchMax, AdmitWaitUs: wait})
+			restore.Close()
+		}
+		if derr != nil && err == nil {
+			err = fmt.Errorf("net-batch-window: restoring server knobs: %w", derr)
+		}
+	}()
+	n := netWindowThreads
+	if sc.MaxThreads > 0 && n > sc.MaxThreads {
+		n = sc.MaxThreads
+	}
+	for _, batch := range netBatches {
+		hr, ex, perr := RunNetPoint(NetPoint{
+			Scenario: st.Scenario, System: st.System, Addr: addr, Threads: n, Batch: batch,
+			AdmitWait: netAdmitWait,
+		}, buildSc)
+		if perr != nil {
+			return fmt.Errorf("net-batch-window/batch=%d: %w", batch, perr)
+		}
+		hook(e.recordNet(fmt.Sprintf("batch=%d", batch), hr, ex))
+		note("  net-batch-window batch=%d: %.0f tx/s p50=%s p99=%s achieved=%.1f",
+			batch, hr.Throughput, ex.P50, ex.P99, ex.BatchAvg)
+	}
+	return nil
+}
+
+// RunLoadgen drives the selected net entries against a live external
+// server and streams one record per measured point. The server's TStats
+// reply supplies the concurrency control, scenario and build scale the
+// records are labeled with; sc shapes the client (ladder caps, run
+// windows). The batch sweep restores the server's admission bound
+// afterwards. progress may be nil.
+func RunLoadgen(addr string, ids []string, sc Scale, hook func(results.Record), progress io.Writer) error {
+	sc = sc.withDefaults()
+	probe, err := engine.DialRemote(addr, 1)
+	if err != nil {
+		return err
+	}
+	st, err := probe.Stats()
+	probe.Close()
+	if err != nil {
+		return err
+	}
+	if st.Scenario == "" {
+		return fmt.Errorf("experiments: server at %s reports no scenario; is it `repro serve`?", addr)
+	}
+	// The server's build scale governs the keyspace the client draws
+	// from; the client's own scale only shapes windows and ladders.
+	buildSc, err := ScaleByName(st.Scale)
+	if err != nil {
+		return fmt.Errorf("experiments: server build scale: %w", err)
+	}
+	buildSc = buildSc.withDefaults()
+	buildSc.Warmup, buildSc.Measure = sc.Warmup, sc.Measure
+	note := func(format string, args ...any) {
+		if progress != nil {
+			fmt.Fprintf(progress, format+"\n", args...)
+		}
+	}
+	note("loadgen: server %s runs %s on %s (scale=%s, shards=%d, durable=%v)",
+		addr, st.Scenario, st.System, st.Scale, st.Shards, st.Durable)
+
+	for _, id := range ids {
+		e, ok := Lookup(id)
+		if !ok {
+			return fmt.Errorf("experiments: unknown net entry %q (known: %v)", id, NetEntryIDs())
+		}
+		switch id {
+		case "net-ycsb-a", "net-durable-ycsb-a":
+			if id == "net-durable-ycsb-a" && !st.Durable {
+				return fmt.Errorf("experiments: %s needs a durable server (serve --durable-dir)", id)
+			}
+			for _, n := range sc.threads(topology.PaperThreadLadder) {
+				hr, ex, err := RunNetPoint(NetPoint{
+					Scenario: st.Scenario, System: st.System, Addr: addr, Threads: n,
+				}, buildSc)
+				if err != nil {
+					return fmt.Errorf("%s/%d: %w", id, n, err)
+				}
+				hook(e.recordNet("", hr, ex))
+				note("  %s threads=%d: %.0f tx/s p50=%s p99=%s batch=%.1f",
+					id, n, hr.Throughput, ex.P50, ex.P99, ex.BatchAvg)
+			}
+		case "net-batch-window":
+			if err := runLoadgenBatchSweep(addr, e, st, sc, buildSc, hook, note); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("experiments: %q is not a loadgen-drivable net entry (known: %v)", id, NetEntryIDs())
+		}
+	}
+	return nil
+}

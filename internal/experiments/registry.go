@@ -92,11 +92,13 @@ func (e Entry) record(param string, hr harness.Result) results.Record {
 
 // registryIDs is the presentation order of the whole registry: figures
 // first, then the workload-engine scenarios (YCSB, the Zipfian-θ sweep,
-// vacation), then ablations A1..A5. Registry() builds entries in this
-// order and records carry the rank so reports render in it too.
+// vacation), the durable and networked cells, then ablations A1..A5.
+// Registry() builds entries in this order and records carry the rank so
+// reports render in it too.
 var registryIDs = append(append(append([]string{}, FigureOrder...),
 	"ycsb-a", "ycsb-b", "ycsb-c", "zipf", "vacation-low", "vacation-high",
-	"durable-ycsb-a", "durable-vacation", "durable-window"),
+	"durable-ycsb-a", "durable-vacation", "durable-window",
+	"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a"),
 	"capacity", "tmcam", "rofast", "killer", "smt")
 
 // registryRank maps entry id → presentation rank.
@@ -118,6 +120,7 @@ func Registry() []Entry {
 	}
 	entries = append(entries, scenarioEntries()...)
 	entries = append(entries, durableEntries()...)
+	entries = append(entries, netEntries()...)
 	entries = append(entries,
 		capacityEntry(),
 		tmcamEntry(),
@@ -138,12 +141,37 @@ func Lookup(id string) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Group classifies the entry for selectors and `repro list`:
+// "figures" (paper figure panels), "scenarios" (workload-engine YCSB /
+// Zipf / vacation), "durable" (WAL-backed cells), "net" (networked
+// service-layer cells) or "ablations".
+func (e Entry) Group() string {
+	switch {
+	case e.Figure > 0:
+		return "figures"
+	case e.Workload == "durable":
+		return "durable"
+	case e.Workload == "net":
+		return "net"
+	case scenarioWorkloads[e.Workload]:
+		return "scenarios"
+	default:
+		return "ablations"
+	}
+}
+
+// Groups lists the selector groups in presentation order.
+func Groups() []string {
+	return []string{"figures", "scenarios", "durable", "net", "ablations"}
+}
+
 // Select resolves a selector to registry entries, in registry order:
 //
 //	"all"               every entry
 //	"figures"           every figN-* entry
 //	"scenarios"         the workload-engine entries (ycsb-*, zipf, vacation-*)
-//	"ablations"         every non-figure, non-scenario entry
+//	"durable" / "net"   the durability / networked service-layer cells
+//	"ablations"         everything else (no figure, no scenario group)
 //	"fig6" / "6"        both panels of one figure
 //	"ycsb" / "vacation" every entry of the prefix
 //	"fig6-low"          a single entry
@@ -163,9 +191,7 @@ func Select(selector string) ([]Entry, error) {
 		for _, e := range all {
 			switch {
 			case sel == "all",
-				sel == "figures" && e.Figure > 0,
-				sel == "scenarios" && scenarioWorkloads[e.Workload],
-				sel == "ablations" && e.Figure == 0 && !scenarioWorkloads[e.Workload],
+				sel == e.Group(),
 				sel == e.ID,
 				strings.HasPrefix(e.ID, sel+"-"):
 				want[e.ID] = true

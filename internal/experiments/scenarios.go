@@ -22,9 +22,9 @@ import (
 // the serial SGL floor.
 var scenarioSystems = []string{"htm", "si-htm", "sgl"}
 
-// scenarioWorkloads marks the workload families that count as scenarios
-// (not ablations) for selectors.
-var scenarioWorkloads = map[string]bool{"ycsb": true, "vacation": true, "durable": true}
+// scenarioWorkloads marks the workload families of the "scenarios"
+// selector group (the durable and net families form their own groups).
+var scenarioWorkloads = map[string]bool{"ycsb": true, "vacation": true}
 
 // scaledKeys shrinks a base keyspace by the scale's divisor, keeping a
 // floor so chains/trees stay non-degenerate.

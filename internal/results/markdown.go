@@ -130,6 +130,47 @@ func MarkdownAborts(w io.Writer, title string, recs []Record) {
 	}
 }
 
+// MarkdownLatency renders one experiment's service-latency panel —
+// per cell "p50/p99 µs (avg batch ops)" — for records carrying the
+// networked layer's latency fields.
+func MarkdownLatency(w io.Writer, title string, recs []Record) {
+	labels, byParam := axisLabels(recs)
+	systems := systemsOf(recs)
+	axis := "threads"
+	if byParam {
+		axis = "param"
+	}
+	fmt.Fprintf(w, "**%s — per-op latency (p50/p99 µs, avg ops per transaction)**\n\n", title)
+	fmt.Fprintf(w, "| %s |", axis)
+	for _, s := range systems {
+		fmt.Fprintf(w, " %s |", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|%s\n", strings.Repeat("---|", len(systems)))
+	for _, label := range labels {
+		fmt.Fprintf(w, "| %s |", label)
+		for _, s := range systems {
+			if r, ok := find(recs, s, label, byParam); ok && r.LatencyP99Us > 0 {
+				fmt.Fprintf(w, " %.0f/%.0f (%.1f) |", r.LatencyP50Us, r.LatencyP99Us, r.BatchAvgOps)
+			} else {
+				fmt.Fprintf(w, " – |")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// hasLatency reports whether any record carries the networked layer's
+// latency fields.
+func hasLatency(recs []Record) bool {
+	for _, r := range recs {
+		if r.LatencyP99Us > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Peak returns the record with the best throughput for a system within
 // the group (the paper quotes peak-vs-peak speedups).
 func Peak(recs []Record, system string) Record {
@@ -177,5 +218,9 @@ func MarkdownReport(w io.Writer, rep *Report, titles map[string]string) {
 		fmt.Fprintln(w)
 		MarkdownAborts(w, id, recs)
 		fmt.Fprintln(w)
+		if hasLatency(recs) {
+			MarkdownLatency(w, id, recs)
+			fmt.Fprintln(w)
+		}
 	}
 }

@@ -65,6 +65,13 @@ type Record struct {
 	Fallbacks              uint64 `json:"fallbacks"`
 	// AbortRate is total aborts / attempts (attempts = commits + aborts).
 	AbortRate float64 `json:"abort_rate"`
+
+	// Networked-cell extras, zero elsewhere: per-op service latency
+	// percentiles measured server-side (admission to reply encode) and
+	// the achieved operations per transaction of the admission batching.
+	LatencyP50Us float64 `json:"latency_p50_us,omitempty"`
+	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
+	BatchAvgOps  float64 `json:"batch_avg_ops,omitempty"`
 }
 
 // Key identifies a record's cell for matching between reports.

@@ -1,0 +1,97 @@
+package server_test
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"sihtm/internal/durable"
+	"sihtm/internal/htm"
+	"sihtm/internal/memsim"
+	"sihtm/internal/server"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/tm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/engine"
+	"sihtm/internal/workload/engine/enginetest"
+)
+
+// remoteMaker builds a RemoteBackend instance over a loopback server
+// for the shared engine conformance suite: the remote backend must
+// expose exactly the key-value semantics of the in-process backends it
+// proxies. durableOn runs the server with the WAL store attached, so
+// the suite also covers the durable wrapper end to end (every
+// conformance transaction is acknowledged only after its redo record
+// is fsynced).
+func remoteMaker(durableOn bool) enginetest.Maker {
+	return func(t *testing.T, keys, threads int) enginetest.Instance {
+		t.Helper()
+		// Size the heap for the suite's out-of-keyspace inserts (keys up
+		// to 2×keys plus a few far outliers); the engine's slack absorbs
+		// them.
+		spec := engine.Spec{Name: "conformance", Keys: keys * 2}
+		buckets := keys / 4
+		if buckets < 1 {
+			buckets = 1
+		}
+		heap := memsim.NewHeapLines(engine.HashmapHeapLines(spec, buckets))
+		m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+		backend := engine.NewHashmapBackend(heap, buckets)
+
+		var sys tm.System = sihtm.NewSystem(m, threads, sihtm.Config{})
+		var served engine.Backend = backend
+		cfg := server.Config{Shards: threads, BatchMax: 8}
+		var store *durable.Store
+		if durableOn {
+			dir := t.TempDir()
+			var err error
+			store, err = durable.Open(heap, filepath.Join(dir, "wal.log"),
+				m.Topology().MaxThreads(), durable.Config{Window: 100 * time.Microsecond, WaitAck: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys = store.Attach(sys, m)
+			served = engine.NewDurableBackend(backend, store)
+			cfg.Store = store
+		}
+		cfg.Backend = served
+		cfg.System = sys
+
+		srv, err := server.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Serve()
+
+		conns := (threads + 1) / 2
+		rb, err := engine.DialRemote(addr.String(), conns)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return enginetest.Instance{
+			Backend: rb,
+			Heap:    heap,
+			Machine: m,
+			Sys:     engine.NewRemoteSystem("si-htm", threads),
+			Cleanup: func() {
+				rb.Close()
+				srv.Drain()
+				if store != nil {
+					store.Close()
+				}
+			},
+		}
+	}
+}
+
+func TestRemoteBackendConformance(t *testing.T) {
+	enginetest.Run(t, "remote", remoteMaker(false))
+}
+
+func TestRemoteDurableBackendConformance(t *testing.T) {
+	enginetest.Run(t, "remote-durable", remoteMaker(true))
+}

@@ -1,0 +1,240 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/wire"
+)
+
+// srvConn is one client connection: a reader goroutine parses frames
+// and routes data-plane requests into shard queues (control-plane
+// requests are answered inline), a writer goroutine streams encoded
+// reply frames back with coalesced flushes. The connection closes once
+// the reader has exited and every admitted task has been answered —
+// the per-connection half of graceful drain.
+type srvConn struct {
+	srv *Server
+	c   net.Conn
+	bw  *bufio.Writer
+	out chan []byte
+
+	// inflight counts admitted-but-unanswered tasks; together with
+	// readerGone it decides when out can close.
+	inflight   atomic.Int64
+	mu         sync.Mutex
+	readerGone bool
+	outClosed  bool
+}
+
+func newSrvConn(s *Server, nc net.Conn) *srvConn {
+	return &srvConn{
+		srv: s,
+		c:   nc,
+		bw:  bufio.NewWriter(nc),
+		out: make(chan []byte, 256),
+	}
+}
+
+// send queues one encoded frame for the writer. Callers hold either the
+// reader's liveness or an inflight reference, which is what guarantees
+// out is not yet closed.
+func (c *srvConn) send(frame []byte) { c.out <- frame }
+
+// sendErr queues a TErr reply.
+func (c *srvConn) sendErr(id uint64, err error) {
+	c.send(wire.AppendFrame(nil, id, wire.TErr, []byte(err.Error())))
+}
+
+// sendEmptyReply queues an empty TReply (control-plane acknowledgement).
+func (c *srvConn) sendEmptyReply(id uint64) {
+	c.send(wire.AppendFrame(nil, id, wire.TReply, nil))
+}
+
+// taskDone releases one inflight reference.
+func (c *srvConn) taskDone() {
+	if c.inflight.Add(-1) == 0 {
+		c.maybeCloseOut()
+	}
+}
+
+// readerExit marks the reader gone and closes out if nothing is in
+// flight.
+func (c *srvConn) readerExit() {
+	c.mu.Lock()
+	c.readerGone = true
+	c.mu.Unlock()
+	c.maybeCloseOut()
+}
+
+func (c *srvConn) maybeCloseOut() {
+	c.mu.Lock()
+	if c.readerGone && !c.outClosed && c.inflight.Load() == 0 {
+		c.outClosed = true
+		close(c.out)
+	}
+	c.mu.Unlock()
+}
+
+// readLoop parses and dispatches frames until the connection ends —
+// client EOF, a framing violation (fatal by protocol) or drain (the
+// deadline sweep unparks the read and the draining flag stops
+// admission).
+func (c *srvConn) readLoop() {
+	defer func() {
+		c.readerExit()
+		c.srv.readers.Done()
+	}()
+	br := bufio.NewReader(c.c)
+	var scratch []byte
+	var ops []wire.Op
+	for {
+		if c.srv.draining.Load() {
+			return
+		}
+		var (
+			id      uint64
+			t       wire.Type
+			payload []byte
+			err     error
+		)
+		id, t, payload, scratch, err = wire.ReadFrame(br, scratch)
+		if err != nil {
+			return
+		}
+		switch t {
+		case wire.TGet, wire.TPut, wire.TDel, wire.TScan, wire.TTxn:
+			ops = ops[:0]
+			ops, err = decodeData(t, payload, ops)
+			if err != nil {
+				c.sendErr(id, err)
+				continue
+			}
+			tsk := &task{
+				c:   c,
+				id:  id,
+				ops: append([]wire.Op(nil), ops...),
+				t0:  time.Now(),
+			}
+			c.inflight.Add(1)
+			c.srv.shardFor(tsk.ops).ch <- tsk
+
+		case wire.TCtrl:
+			var ctrl wire.Ctrl
+			if err := wire.DecodeJSON(payload, &ctrl); err != nil {
+				c.sendErr(id, err)
+				continue
+			}
+			if ctrl.BatchMax != 0 {
+				if err := c.srv.setBatchMax(ctrl.BatchMax); err != nil {
+					c.sendErr(id, err)
+					continue
+				}
+			}
+			if ctrl.AdmitWaitUs != 0 {
+				if err := c.srv.setAdmitWait(ctrl.AdmitWaitUs); err != nil {
+					c.sendErr(id, err)
+					continue
+				}
+			}
+			c.sendEmptyReply(id)
+
+		case wire.TStats:
+			c.send(wire.AppendFrame(nil, id, wire.TReply, wire.EncodeJSON(c.srv.statsSnapshot())))
+
+		case wire.TCheck:
+			// Quiesce the executors (batches run under RLock) so the
+			// backend's structural walk sees no transaction mid-flight.
+			c.srv.execMu.Lock()
+			err := c.srv.cfg.Backend.Check()
+			c.srv.execMu.Unlock()
+			if err != nil {
+				c.sendErr(id, err)
+			} else {
+				c.sendEmptyReply(id)
+			}
+
+		default:
+			c.sendErr(id, fmt.Errorf("server: unexpected message type %v", t))
+		}
+	}
+}
+
+// decodeData normalizes a data-plane payload into an op list.
+func decodeData(t wire.Type, payload []byte, dst []wire.Op) ([]wire.Op, error) {
+	switch t {
+	case wire.TGet:
+		key, err := wire.ParseKey(payload)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, wire.Op{Kind: wire.OpGet, Key: key}), nil
+	case wire.TPut:
+		key, val, err := wire.ParseKeyArg(payload)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, wire.Op{Kind: wire.OpPut, Key: key, Arg: val}), nil
+	case wire.TDel:
+		key, err := wire.ParseKey(payload)
+		if err != nil {
+			return nil, err
+		}
+		return append(dst, wire.Op{Kind: wire.OpDel, Key: key}), nil
+	case wire.TScan:
+		key, n, err := wire.ParseKeyArg(payload)
+		if err != nil {
+			return nil, err
+		}
+		if n > wire.MaxScanLen {
+			return nil, fmt.Errorf("server: scan length %d exceeds %d", n, wire.MaxScanLen)
+		}
+		return append(dst, wire.Op{Kind: wire.OpScan, Key: key, Arg: n}), nil
+	default: // wire.TTxn
+		return wire.ParseOps(payload, dst)
+	}
+}
+
+// writeTimeout bounds each reply write: a client that stops reading
+// (closed TCP window) errors its connection out instead of backing
+// pressure up through the writer queue into the executors — which
+// would otherwise wedge Drain forever behind one stalled peer.
+const writeTimeout = 10 * time.Second
+
+// writeLoop streams reply frames, flushing whenever the queue runs dry
+// (coalesced flushes across pipelined replies). A write error stops
+// output but keeps draining the queue so executors never block on a
+// dead connection.
+func (c *srvConn) writeLoop() {
+	defer func() {
+		c.c.Close()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+		c.srv.writers.Done()
+	}()
+	var werr error
+	for frame := range c.out {
+		if werr != nil {
+			continue
+		}
+		c.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+		if _, err := c.bw.Write(frame); err != nil {
+			werr = err
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := c.bw.Flush(); err != nil {
+				werr = err
+			}
+		}
+	}
+	if werr == nil {
+		c.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+		c.bw.Flush()
+	}
+}

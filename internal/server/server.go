@@ -1,0 +1,423 @@
+// Package server is the networked service layer: a TCP server speaking
+// the internal/wire protocol that fronts any engine.Backend (the
+// chained hash map, the B+tree, their durable decorations) through the
+// repository's tm.System seam.
+//
+// The interesting part is the admission/batching stage. Client
+// connections are read by per-connection goroutines that route each
+// request — a point op or a multi-op TXN — to one of a fixed set of
+// per-shard executor goroutines (shard = hash of the request's first
+// key, so hot keys serialize onto one executor instead of conflicting
+// across all of them). An executor drains its queue opportunistically
+// and coalesces the pipelined requests of many connections into a
+// single transaction of at most BatchMax operations, executed as one
+// System.Atomic. That is the paper's capacity argument turned into a
+// serving architecture: a bigger hardware-transaction footprint per
+// commit amortizes the begin/commit cost — and, with a durable store
+// attached, the group-commit fsync — over more client operations,
+// while pushing the transaction closer to the TMCAM capacity cliff.
+// Sweeping BatchMax (live, via the wire control plane) reproduces the
+// capacity-vs-abort trade-off over the network.
+//
+// Atomicity is preserved per request: a TXN's ops always land in the
+// same batch, and a batch is one transaction, so clients get at-least
+// TXN-level isolation (batching only ever widens the atomic unit).
+// A batch of exclusively read-only ops launches as tm.KindReadOnly and
+// rides SI-HTM's uninstrumented read-only fast path.
+//
+// Graceful drain: Drain stops the accept loop, unblocks connection
+// readers, lets executors finish every admitted request (replies
+// included), flushes and closes connections, and — when a durable
+// store is attached — forces a final checkpoint so a restart recovers
+// without replaying the whole log.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/durable"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/wire"
+	"sihtm/internal/workload/engine"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Backend is the data structure served. The caller populates it (and
+	// wraps it durably) before Listen.
+	Backend engine.Backend
+	// System is the concurrency control executing batches; it must be
+	// sized for at least Shards threads.
+	System tm.System
+	// Shards is the executor goroutine count (transaction thread ids
+	// 0..Shards-1). Default 4.
+	Shards int
+	// BatchMax bounds the operations coalesced into one transaction —
+	// the footprint knob. Default 16; reconfigurable live via TCtrl.
+	BatchMax int
+	// AdmitWait is the admission grace period: how long an executor
+	// holding a non-full batch waits for more pipelined requests before
+	// committing. Zero (the default) commits as soon as the queue runs
+	// dry; small values trade per-op latency for fuller batches (and,
+	// durably, fuller group commits). Reconfigurable live via TCtrl.
+	AdmitWait time.Duration
+	// Store, when non-nil, is the durability manager already attached to
+	// System; Drain forces a final checkpoint to CheckpointPath (if set)
+	// and syncs the log.
+	Store *durable.Store
+	// CheckpointPath receives Drain's final checkpoint.
+	CheckpointPath string
+	// Scenario and Scale label the hosted workload build in TStats
+	// replies, so remote load generators can rebuild the matching Spec.
+	Scenario string
+	Scale    string
+}
+
+// Server is a wire-protocol transaction server.
+type Server struct {
+	cfg       Config
+	ln        net.Listener
+	shards    []*shard
+	hist      *stats.Histogram
+	batchMax  atomic.Int64
+	admitWait atomic.Int64 // nanoseconds
+
+	batches    atomic.Uint64
+	batchedOps atomic.Uint64
+
+	// execMu lets the control plane quiesce the executors: every batch
+	// runs under RLock, a TCheck takes Lock.
+	execMu sync.RWMutex
+
+	mu       sync.Mutex
+	conns    map[*srvConn]struct{}
+	draining atomic.Bool
+
+	readers sync.WaitGroup
+	execs   sync.WaitGroup
+	writers sync.WaitGroup
+
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// shard is one executor: a queue, a backend session and scratch state.
+type shard struct {
+	id    int
+	ch    chan *task
+	sess  engine.Session
+	batch []*task
+	enc   []byte // reply-payload scratch (AppendFrame copies it out)
+}
+
+// task is one admitted data-plane request.
+type task struct {
+	c       *srvConn
+	id      uint64
+	ops     []wire.Op
+	results []wire.Result
+	t0      time.Time
+}
+
+// New validates the configuration and builds the server (not yet
+// listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil || cfg.System == nil {
+		return nil, errors.New("server: Config needs Backend and System")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards > cfg.System.Threads() {
+		return nil, fmt.Errorf("server: %d shards exceed the system's %d threads", cfg.Shards, cfg.System.Threads())
+	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 16
+	}
+	s := &Server{
+		cfg:   cfg,
+		hist:  &stats.Histogram{},
+		conns: map[*srvConn]struct{}{},
+	}
+	s.batchMax.Store(int64(cfg.BatchMax))
+	s.admitWait.Store(int64(cfg.AdmitWait))
+	for i := 0; i < cfg.Shards; i++ {
+		s.shards = append(s.shards, &shard{
+			id:   i,
+			ch:   make(chan *task, 256),
+			sess: cfg.Backend.NewSession(),
+		})
+	}
+	return s, nil
+}
+
+// Listen binds the server and starts its executors. Use addr
+// "127.0.0.1:0" for an ephemeral loopback port; the chosen address is
+// returned.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	for _, sh := range s.shards {
+		s.execs.Add(1)
+		go sh.run(s)
+	}
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections until the listener closes. It returns nil
+// when the server is draining, the accept error otherwise.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return nil
+			}
+			return err
+		}
+		s.startConn(nc)
+	}
+}
+
+// startConn registers one accepted connection and spawns its reader and
+// writer goroutines.
+func (s *Server) startConn(nc net.Conn) {
+	c := newSrvConn(s, nc)
+	s.mu.Lock()
+	if s.draining.Load() {
+		s.mu.Unlock()
+		nc.Close()
+		return
+	}
+	s.conns[c] = struct{}{}
+	s.mu.Unlock()
+	s.readers.Add(1)
+	go c.readLoop()
+	s.writers.Add(1)
+	go c.writeLoop()
+}
+
+// Drain shuts the server down gracefully: no new connections or
+// requests are admitted, every already-admitted request commits and is
+// answered, connections flush and close, and a durable store gets a
+// final checkpoint. Safe to call more than once; Serve returns nil
+// once draining.
+func (s *Server) Drain() error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining.Store(true)
+		for c := range s.conns {
+			// Unblock readers parked in a frame read; they observe the
+			// draining flag and exit without admitting further requests.
+			c.c.SetReadDeadline(time.Now())
+		}
+		s.mu.Unlock()
+		if s.ln != nil {
+			s.ln.Close()
+		}
+		// Readers are the only producers; once they exit the queues can
+		// close, and the executors quiesce after finishing every admitted
+		// batch.
+		s.readers.Wait()
+		for _, sh := range s.shards {
+			close(sh.ch)
+		}
+		s.execs.Wait()
+		s.writers.Wait()
+		if s.cfg.Store != nil {
+			if s.cfg.CheckpointPath != "" {
+				if _, err := s.cfg.Store.WriteCheckpoint(s.cfg.CheckpointPath); err != nil {
+					s.drainErr = fmt.Errorf("server: final checkpoint: %w", err)
+					return
+				}
+			}
+			if err := s.cfg.Store.Sync(); err != nil {
+				s.drainErr = fmt.Errorf("server: drain sync: %w", err)
+			}
+		}
+	})
+	return s.drainErr
+}
+
+// shardFor routes a request to an executor by its first key, so a hot
+// key's traffic serializes onto one shard instead of conflicting across
+// all of them. Requests with no key (empty TXNs) land on shard 0.
+func (s *Server) shardFor(ops []wire.Op) *shard {
+	if len(ops) == 0 {
+		return s.shards[0]
+	}
+	h := ops[0].Key * 0x9e3779b97f4a7c15
+	return s.shards[int(h>>33)%len(s.shards)]
+}
+
+// setBatchMax applies the control plane's batch knob.
+func (s *Server) setBatchMax(n int) error {
+	if n <= 0 || n > wire.MaxTxnOps {
+		return fmt.Errorf("batch_max %d out of range 1..%d", n, wire.MaxTxnOps)
+	}
+	s.batchMax.Store(int64(n))
+	return nil
+}
+
+// setAdmitWait applies the control plane's admission-grace knob
+// (microseconds; negative clears to zero).
+func (s *Server) setAdmitWait(us int) error {
+	if us < 0 {
+		us = 0
+	}
+	if us > int(time.Second/time.Microsecond) {
+		return fmt.Errorf("admit_wait_us %d exceeds 1s", us)
+	}
+	s.admitWait.Store(int64(time.Duration(us) * time.Microsecond))
+	return nil
+}
+
+// statsSnapshot builds the TStats reply.
+func (s *Server) statsSnapshot() wire.ServerStats {
+	return wire.ServerStats{
+		System:      s.cfg.System.Name(),
+		Scenario:    s.cfg.Scenario,
+		Scale:       s.cfg.Scale,
+		Shards:      len(s.shards),
+		BatchMax:    int(s.batchMax.Load()),
+		AdmitWaitUs: int(time.Duration(s.admitWait.Load()) / time.Microsecond),
+		Durable:     s.cfg.Store != nil,
+		Stats:       s.cfg.System.Collector().Snapshot(),
+		Batches:     s.batches.Load(),
+		BatchedOps:  s.batchedOps.Load(),
+		Hist:        s.hist.Snapshot(),
+	}
+}
+
+// Hist exposes the per-op latency histogram (tests and in-process
+// loadgen cells read it directly).
+func (s *Server) Hist() *stats.Histogram { return s.hist }
+
+// run is the executor loop: admit one task (blocking), coalesce more up
+// to the batch bound — draining the queue opportunistically and, with a
+// non-zero admission grace, waiting briefly for stragglers — then
+// execute the batch as one transaction and answer every task.
+func (sh *shard) run(s *Server) {
+	defer s.execs.Done()
+	for t := range sh.ch {
+		sh.batch = sh.batch[:0]
+		sh.batch = append(sh.batch, t)
+		opsN := len(t.ops)
+		max := int(s.batchMax.Load())
+		wait := time.Duration(s.admitWait.Load())
+		var deadline time.Time
+		if wait > 0 {
+			deadline = time.Now().Add(wait)
+		}
+	fill:
+		for opsN < max {
+			select {
+			case t2, ok := <-sh.ch:
+				if !ok {
+					// Queue closed mid-fill: run what we have, then exit via
+					// the range loop.
+					break fill
+				}
+				sh.batch = append(sh.batch, t2)
+				opsN += len(t2.ops)
+				continue
+			default:
+			}
+			// Queue dry: wait out the admission grace, if any remains.
+			if wait <= 0 {
+				break
+			}
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				break
+			}
+			timer := time.NewTimer(rem)
+			select {
+			case t2, ok := <-sh.ch:
+				timer.Stop()
+				if !ok {
+					break fill
+				}
+				sh.batch = append(sh.batch, t2)
+				opsN += len(t2.ops)
+			case <-timer.C:
+				break fill
+			}
+		}
+		sh.exec(s, opsN)
+	}
+}
+
+// exec runs one batch as a single transaction and replies to each task.
+func (sh *shard) exec(s *Server, opsN int) {
+	s.execMu.RLock()
+	inserts := 0
+	kind := tm.KindReadOnly
+	for _, t := range sh.batch {
+		if cap(t.results) < len(t.ops) {
+			t.results = make([]wire.Result, len(t.ops))
+		}
+		t.results = t.results[:len(t.ops)]
+		for _, op := range t.ops {
+			if op.Kind.MayInsert() {
+				inserts++
+			}
+			if !op.Kind.ReadOnly() {
+				kind = tm.KindUpdate
+			}
+		}
+	}
+	sh.sess.Prepare(inserts)
+	s.cfg.System.Atomic(sh.id, kind, func(ops tm.Ops) {
+		// The body may retry (TM contract): Reset rewinds the session and
+		// results are overwritten in place, so replays are idempotent.
+		sh.sess.Reset()
+		for _, t := range sh.batch {
+			for i, op := range t.ops {
+				switch op.Kind {
+				case wire.OpGet:
+					v, ok := sh.sess.Read(ops, op.Key)
+					t.results[i] = wire.Result{OK: ok, Val: v}
+				case wire.OpPut:
+					wasNew := sh.sess.Insert(ops, op.Key, op.Arg)
+					t.results[i] = wire.Result{OK: wasNew, Val: op.Arg}
+				case wire.OpDel:
+					present := sh.sess.Delete(ops, op.Key)
+					t.results[i] = wire.Result{OK: present}
+				case wire.OpScan:
+					n := sh.sess.Scan(ops, op.Key, int(op.Arg))
+					t.results[i] = wire.Result{OK: true, Val: uint64(n)}
+				case wire.OpRMW:
+					v, _ := sh.sess.Read(ops, op.Key)
+					sh.sess.Insert(ops, op.Key, v+op.Arg)
+					t.results[i] = wire.Result{OK: true, Val: v + op.Arg}
+				}
+			}
+		}
+	})
+	sh.sess.Commit()
+	s.execMu.RUnlock()
+
+	s.batches.Add(1)
+	s.batchedOps.Add(uint64(opsN))
+	for _, t := range sh.batch {
+		// With a durable store attached, Atomic returned only after the
+		// batch's record was fsynced — the reply acknowledges durability.
+		s.hist.Observe(time.Since(t.t0))
+		sh.enc = wire.AppendResults(sh.enc[:0], t.results)
+		t.c.send(wire.AppendFrame(nil, t.id, wire.TReply, sh.enc))
+		t.c.taskDone()
+	}
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistSlotBoundsRoundTrip(t *testing.T) {
+	// Every slot's bounds must map back to the slot itself, bounds must
+	// tile the range without gaps, and representative values must land in
+	// the slot whose bounds contain them.
+	prevHi := uint64(0)
+	for slot := 0; slot < histSlots; slot++ {
+		lo, hi := histBounds(slot)
+		if lo != prevHi {
+			t.Fatalf("slot %d: lo = %d, want %d (gap/overlap)", slot, lo, prevHi)
+		}
+		if hi <= lo {
+			t.Fatalf("slot %d: empty range [%d, %d)", slot, lo, hi)
+		}
+		if got := histSlot(lo); got != slot {
+			t.Fatalf("histSlot(%d) = %d, want %d", lo, got, slot)
+		}
+		if slot < histSlots-1 {
+			if got := histSlot(hi - 1); got != slot {
+				t.Fatalf("histSlot(%d) = %d, want %d", hi-1, got, slot)
+			}
+		}
+		prevHi = hi
+	}
+	// Values beyond the range clamp to the last slot.
+	if got := histSlot(math.MaxUint64); got != histSlots-1 {
+		t.Fatalf("histSlot(max) = %d, want %d", got, histSlots-1)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	// A known uniform population: 1..1000 µs.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", s.Count())
+	}
+	for _, c := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.5, 500 * time.Microsecond},
+		{0.9, 900 * time.Microsecond},
+		{0.99, 990 * time.Microsecond},
+	} {
+		got := s.Quantile(c.p)
+		rel := math.Abs(float64(got-c.want)) / float64(c.want)
+		if rel > 0.30 {
+			t.Errorf("Quantile(%.2f) = %s, want ~%s (rel err %.2f)", c.p, got, c.want, rel)
+		}
+	}
+	if m := s.Mean(); m < 400*time.Microsecond || m > 600*time.Microsecond {
+		t.Errorf("Mean = %s, want ~500µs", m)
+	}
+	// Quantiles are monotone in p.
+	prev := time.Duration(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := s.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile(%.2f) = %s < previous %s", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistogramSub(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	before := h.Snapshot()
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+	d := h.Snapshot().Sub(before)
+	if d.Count() != 2 {
+		t.Fatalf("delta Count = %d, want 2", d.Count())
+	}
+	if d.SumNs != uint64(5*time.Millisecond) {
+		t.Fatalf("delta SumNs = %d, want %d", d.SumNs, 5*time.Millisecond)
+	}
+	// Subtracting a zero-value snapshot is the identity.
+	id := h.Snapshot().Sub(HistogramSnapshot{})
+	if id.Count() != 3 {
+		t.Fatalf("identity Sub lost counts: %d", id.Count())
+	}
+}
+
+func TestHistogramZeroAndNegative(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(-time.Second)
+	s := h.Snapshot()
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	if s.SumNs != 0 {
+		t.Fatalf("SumNs = %d, want 0", s.SumNs)
+	}
+	if q := s.Quantile(0.99); q > time.Nanosecond {
+		t.Fatalf("Quantile of all-zero population = %s", q)
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty snapshot quantile not 0")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(time.Duration(w*100+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count(); got != workers*each {
+		t.Fatalf("Count = %d, want %d", got, workers*each)
+	}
+}

@@ -1,0 +1,214 @@
+// Package wire is the binary protocol of the networked service layer:
+// length-prefixed, CRC-framed messages (in the mould of the WAL's
+// record framing) carrying the key-value vocabulary of the workload
+// engine — GET/PUT/DEL/SCAN point requests, TXN multi-op transactions —
+// plus the control plane (batch-knob updates, server statistics, the
+// quiescent invariant check).
+//
+// Frame layout (all fields little-endian):
+//
+//	offset  size  field
+//	0       4     magic  = frameMagic ("SIHW")
+//	4       4     length — payload bytes n
+//	8       8     id     — request id, echoed on the response; clients
+//	              pipeline many frames per connection and demultiplex
+//	              responses by id
+//	16      1     type   — message Type
+//	17      3     reserved (zero)
+//	20      n     payload (type-specific)
+//	20+n    4     crc    — CRC-32C (Castagnoli) over bytes [0, 20+n)
+//
+// The framing is self-validating: a receiver accepts a frame only when
+// magic, length bound and CRC all check out, so a torn or corrupted
+// stream is detected at the first damaged frame instead of being
+// misparsed — mirroring the WAL's torn-tail rule. Framing errors are
+// fatal to the connection (there is no resynchronization).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	frameMagic = uint32(0x53494857) // "SIHW"
+	// headerBytes is magic + length + id + type + reserved.
+	headerBytes  = 20
+	trailerBytes = 4
+	// FrameOverhead is the framed size of an empty payload.
+	FrameOverhead = headerBytes + trailerBytes
+
+	// MaxPayload bounds a frame's payload; larger lengths are treated as
+	// corruption. Generous for the control plane's JSON and for the
+	// largest admissible TXN.
+	MaxPayload = 1 << 20
+	// MaxTxnOps bounds the operations of a single TXN request.
+	MaxTxnOps = 1 << 12
+	// MaxScanLen bounds one SCAN's entry count.
+	MaxScanLen = 1 << 12
+)
+
+// castagnoli is the CRC-32C table shared with the WAL framing.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Type tags a message. Requests and responses share the frame format;
+// response types have the high bit set.
+type Type uint8
+
+// The message vocabulary.
+const (
+	// TGet is a point lookup; payload: key u64.
+	TGet Type = 0x01
+	// TPut is an upsert; payload: key u64, value u64.
+	TPut Type = 0x02
+	// TDel is a removal; payload: key u64.
+	TDel Type = 0x03
+	// TScan visits entries from key onward; payload: key u64, n u64.
+	TScan Type = 0x04
+	// TTxn is a multi-op transaction, executed atomically; payload: an
+	// op list (AppendOps).
+	TTxn Type = 0x05
+	// TCtrl reconfigures the server; payload: JSON Ctrl.
+	TCtrl Type = 0x06
+	// TStats requests server statistics; empty payload. Reply payload:
+	// JSON ServerStats.
+	TStats Type = 0x07
+	// TCheck runs the backend's structural invariant check quiescently;
+	// empty payload.
+	TCheck Type = 0x08
+
+	// TReply answers any data-plane request; payload: a result list
+	// (AppendResults), one entry per op. Control-plane replies reuse
+	// TReply with a type-specific payload (JSON for TStats, empty for
+	// TCtrl and TCheck).
+	TReply Type = 0x81
+	// TErr reports a failed request; payload: UTF-8 message.
+	TErr Type = 0x82
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TGet:
+		return "GET"
+	case TPut:
+		return "PUT"
+	case TDel:
+		return "DEL"
+	case TScan:
+		return "SCAN"
+	case TTxn:
+		return "TXN"
+	case TCtrl:
+		return "CTRL"
+	case TStats:
+		return "STATS"
+	case TCheck:
+		return "CHECK"
+	case TReply:
+		return "REPLY"
+	case TErr:
+		return "ERR"
+	default:
+		return fmt.Sprintf("Type(0x%02x)", uint8(t))
+	}
+}
+
+// ErrBadFrame reports a framing violation (magic, length bound or CRC);
+// the connection cannot be trusted past it.
+var ErrBadFrame = errors.New("wire: bad frame")
+
+// AppendFrame encodes one frame onto buf and returns the extended
+// slice. Allocation-free when buf has capacity.
+func AppendFrame(buf []byte, id uint64, t Type, payload []byte) []byte {
+	start := len(buf)
+	var hdr [headerBytes]byte
+	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:], id)
+	hdr[16] = byte(t)
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[start:], castagnoli)
+	var tr [trailerBytes]byte
+	binary.LittleEndian.PutUint32(tr[:], crc)
+	return append(buf, tr[:]...)
+}
+
+// ParseFrame decodes the frame at the head of b. size is the framed
+// length consumed on success; payload aliases b. An invalid prefix
+// (magic, length bound, CRC) returns an ErrBadFrame-wrapped error; an
+// otherwise-valid but incomplete frame returns ErrShortFrame so stream
+// readers can wait for more bytes.
+func ParseFrame(b []byte) (id uint64, t Type, payload []byte, size int, err error) {
+	if len(b) < headerBytes {
+		return 0, 0, nil, 0, ErrShortFrame
+	}
+	if binary.LittleEndian.Uint32(b[0:]) != frameMagic {
+		return 0, 0, nil, 0, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	n := binary.LittleEndian.Uint32(b[4:])
+	if n > MaxPayload {
+		return 0, 0, nil, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
+	}
+	size = headerBytes + int(n) + trailerBytes
+	if len(b) < size {
+		return 0, 0, nil, 0, ErrShortFrame
+	}
+	want := binary.LittleEndian.Uint32(b[size-trailerBytes:])
+	if crc32.Checksum(b[:size-trailerBytes], castagnoli) != want {
+		return 0, 0, nil, 0, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+	}
+	id = binary.LittleEndian.Uint64(b[8:])
+	t = Type(b[16])
+	return id, t, b[headerBytes : headerBytes+int(n)], size, nil
+}
+
+// ErrShortFrame marks an incomplete (but so-far-valid) frame prefix: a
+// stream consumer should wait for more bytes rather than fail.
+var ErrShortFrame = errors.New("wire: short frame")
+
+// ReadFrame reads exactly one frame from r. The returned payload
+// aliases buf (grown as needed); callers that retain it must copy.
+// Frame validation failures return ErrBadFrame-wrapped errors; transport
+// failures return the underlying I/O error (io.EOF only at a clean
+// frame boundary).
+func ReadFrame(r io.Reader, buf []byte) (id uint64, t Type, payload, nbuf []byte, err error) {
+	if cap(buf) < headerBytes {
+		buf = make([]byte, 0, 4096)
+	}
+	hdr := buf[:headerBytes]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, nil, buf, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
+		return 0, 0, nil, buf, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxPayload {
+		return 0, 0, nil, buf, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
+	}
+	size := headerBytes + int(n) + trailerBytes
+	if cap(buf) < size {
+		nb := make([]byte, size, size+size/2)
+		copy(nb, hdr)
+		buf = nb
+	}
+	frame := buf[:size]
+	if _, err := io.ReadFull(r, frame[headerBytes:]); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, 0, nil, buf, err
+	}
+	want := binary.LittleEndian.Uint32(frame[size-trailerBytes:])
+	if crc32.Checksum(frame[:size-trailerBytes], castagnoli) != want {
+		return 0, 0, nil, buf, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+	}
+	id = binary.LittleEndian.Uint64(frame[8:])
+	t = Type(frame[16])
+	return id, t, frame[headerBytes : headerBytes+int(n)], buf, nil
+}

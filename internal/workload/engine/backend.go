@@ -49,6 +49,31 @@ type Session interface {
 	Commit()
 }
 
+// AsyncSession is an optional Session capability for operations whose
+// results the caller discards: instead of executing eagerly, the
+// session may defer them and ship the whole set as one unit when
+// Commit is called. The driver prefers this interface when a session
+// offers it, which is what turns a planned transaction into exactly one
+// wire TXN on the remote backend (local backends have no reason to
+// implement it — their eager ops are already free). ReadModifyWriteAsync
+// exists because the dependent write (read value + delta) must be
+// computed wherever the read executes; a remote session encodes it as a
+// single server-side RMW op.
+type AsyncSession interface {
+	Session
+	// ReadAsync is Read with the result discarded.
+	ReadAsync(key uint64)
+	// ReadModifyWriteAsync upserts key ← read(key)+delta (read = 0 when
+	// absent), the engine's OpReadModifyWrite semantics.
+	ReadModifyWriteAsync(key, delta uint64)
+	// InsertAsync is Insert with the result discarded.
+	InsertAsync(key, value uint64)
+	// DeleteAsync is Delete with the result discarded.
+	DeleteAsync(key uint64)
+	// ScanAsync is Scan with the result discarded.
+	ScanAsync(key uint64, n int)
+}
+
 // DirectOps adapts raw heap accesses to tm.Ops: the quiescent access
 // path of Populate and of verification walks.
 type DirectOps struct{ Heap *memsim.Heap }

@@ -1,0 +1,430 @@
+package engine
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"sihtm/internal/memsim"
+	"sihtm/internal/stats"
+	"sihtm/internal/tm"
+	"sihtm/internal/wire"
+)
+
+// RemoteBackend drives a key-value workload against a networked
+// transaction server (internal/server) instead of an in-process data
+// structure: every existing Spec runs unmodified over it. It holds a
+// small pool of pipelined connections; sessions are assigned
+// round-robin, so when sessions outnumber connections many requests are
+// in flight per connection and the server's admission stage sees the
+// concurrent stream its batching coalesces.
+//
+// Session semantics split by result use, mirroring the two client
+// modes a pipelined store offers:
+//
+//   - The plain Session methods are synchronous: each call ships the
+//     deferred buffer plus the new op as one TXN and returns the op's
+//     real result. Tests and interactive callers get exact key-value
+//     semantics.
+//   - The AsyncSession methods defer: ops accumulate client-side and
+//     Commit ships the whole transaction as one TXN frame — the
+//     engine's driver path, where one planned transaction becomes one
+//     atomic server-side unit.
+//
+// Transport failures are fatal to the workload (the session protocol
+// has no error channel) and surface as panics; orchestrate shutdown so
+// load generators finish before the server drains.
+type RemoteBackend struct {
+	conns []*clientConn
+	next  atomic.Uint32
+}
+
+// DialRemote connects a pool of conns pipelined connections to a wire
+// server.
+func DialRemote(addr string, conns int) (*RemoteBackend, error) {
+	if conns <= 0 {
+		conns = 1
+	}
+	b := &RemoteBackend{}
+	for i := 0; i < conns; i++ {
+		c, err := dialConn(addr)
+		if err != nil {
+			b.Close()
+			return nil, fmt.Errorf("engine: remote backend: %w", err)
+		}
+		b.conns = append(b.conns, c)
+	}
+	return b, nil
+}
+
+// Close tears down the connection pool.
+func (b *RemoteBackend) Close() error {
+	var first error
+	for _, c := range b.conns {
+		if err := c.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Name implements Backend.
+func (b *RemoteBackend) Name() string { return "remote" }
+
+// NewSession implements Backend: the session pipelines on the pool's
+// next connection.
+func (b *RemoteBackend) NewSession() Session {
+	c := b.conns[int(b.next.Add(1)-1)%len(b.conns)]
+	return &remoteSession{c: c}
+}
+
+// Direct implements Backend. A remote backend has no local heap; the
+// returned Ops panics on use. Populate and the conformance suite pass
+// it into session methods, which ignore it — population happens through
+// real (synchronous) wire requests.
+func (b *RemoteBackend) Direct() tm.Ops { return remoteNoOps{} }
+
+// Check implements Backend by running the server-side backend's
+// structural invariant check quiescently (the server pauses its
+// executors around it).
+func (b *RemoteBackend) Check() error {
+	t, payload, err := b.conns[0].roundTrip(wire.TCheck, nil)
+	if err != nil {
+		return err
+	}
+	if t == wire.TErr {
+		return fmt.Errorf("engine: remote check: %s", payload)
+	}
+	return nil
+}
+
+// Stats fetches the server's statistics snapshot — the load generator's
+// measurement-window source (difference two snapshots).
+func (b *RemoteBackend) Stats() (wire.ServerStats, error) {
+	var st wire.ServerStats
+	t, payload, err := b.conns[0].roundTrip(wire.TStats, nil)
+	if err != nil {
+		return st, err
+	}
+	if t == wire.TErr {
+		return st, fmt.Errorf("engine: remote stats: %s", payload)
+	}
+	err = wire.DecodeJSON(payload, &st)
+	return st, err
+}
+
+// Ctrl reconfigures the live server (the batch-size knob of the
+// admission stage).
+func (b *RemoteBackend) Ctrl(c wire.Ctrl) error {
+	t, payload, err := b.conns[0].roundTrip(wire.TCtrl, wire.EncodeJSON(c))
+	if err != nil {
+		return err
+	}
+	if t == wire.TErr {
+		return fmt.Errorf("engine: remote ctrl: %s", payload)
+	}
+	return nil
+}
+
+var _ Backend = (*RemoteBackend)(nil)
+
+// remoteNoOps is the Direct() placeholder: any dereference is a bug.
+type remoteNoOps struct{}
+
+func (remoteNoOps) Read(memsim.Addr) uint64 {
+	panic("engine: remote backend has no direct heap access")
+}
+func (remoteNoOps) Write(memsim.Addr, uint64) {
+	panic("engine: remote backend has no direct heap access")
+}
+
+// remoteSession is one thread's pipelined view of the server.
+type remoteSession struct {
+	c       *clientConn
+	pending []wire.Op
+	results []wire.Result
+	payload []byte
+}
+
+// Prepare implements Session; pool sizing happens server-side, per
+// batch.
+func (s *remoteSession) Prepare(int) {}
+
+// Reset implements Session: rewinding a retried transaction body
+// discards the ops the previous attempt deferred.
+func (s *remoteSession) Reset() { s.pending = s.pending[:0] }
+
+// Commit implements Session: ship anything still deferred as one TXN.
+func (s *remoteSession) Commit() {
+	if len(s.pending) > 0 {
+		s.flush()
+	}
+}
+
+// flush ships the pending ops as a single atomic request and fills
+// s.results. Single plain ops use the compact point-request frames so
+// the whole protocol surface stays exercised; everything else is a TXN.
+func (s *remoteSession) flush() {
+	var (
+		t       wire.Type
+		payload = s.payload[:0]
+	)
+	if len(s.pending) == 1 {
+		op := s.pending[0]
+		switch op.Kind {
+		case wire.OpGet:
+			t, payload = wire.TGet, wire.AppendKey(payload, op.Key)
+		case wire.OpPut:
+			t, payload = wire.TPut, wire.AppendKeyArg(payload, op.Key, op.Arg)
+		case wire.OpDel:
+			t, payload = wire.TDel, wire.AppendKey(payload, op.Key)
+		case wire.OpScan:
+			t, payload = wire.TScan, wire.AppendKeyArg(payload, op.Key, op.Arg)
+		default:
+			t, payload = wire.TTxn, wire.AppendOps(payload, s.pending)
+		}
+	} else {
+		t, payload = wire.TTxn, wire.AppendOps(payload, s.pending)
+	}
+	s.payload = payload
+
+	rt, rp, err := s.c.roundTrip(t, payload)
+	if err != nil {
+		panic(fmt.Sprintf("engine: remote session: %v", err))
+	}
+	if rt == wire.TErr {
+		panic(fmt.Sprintf("engine: remote session: server error: %s", rp))
+	}
+	s.results, err = wire.ParseResults(rp, s.results)
+	if err != nil {
+		panic(fmt.Sprintf("engine: remote session: %v", err))
+	}
+	if len(s.results) != len(s.pending) {
+		panic(fmt.Sprintf("engine: remote session: %d results for %d ops", len(s.results), len(s.pending)))
+	}
+	s.pending = s.pending[:0]
+}
+
+// syncOp appends op, ships the whole pending buffer, and returns the
+// op's own result — the synchronous plain-Session path.
+func (s *remoteSession) syncOp(op wire.Op) wire.Result {
+	s.pending = append(s.pending, op)
+	s.flush()
+	return s.results[len(s.results)-1]
+}
+
+// Read implements Session (synchronous).
+func (s *remoteSession) Read(_ tm.Ops, key uint64) (uint64, bool) {
+	r := s.syncOp(wire.Op{Kind: wire.OpGet, Key: key})
+	return r.Val, r.OK
+}
+
+// Insert implements Session (synchronous).
+func (s *remoteSession) Insert(_ tm.Ops, key, value uint64) bool {
+	return s.syncOp(wire.Op{Kind: wire.OpPut, Key: key, Arg: value}).OK
+}
+
+// Delete implements Session (synchronous).
+func (s *remoteSession) Delete(_ tm.Ops, key uint64) bool {
+	return s.syncOp(wire.Op{Kind: wire.OpDel, Key: key}).OK
+}
+
+// Scan implements Session (synchronous).
+func (s *remoteSession) Scan(_ tm.Ops, key uint64, n int) int {
+	return int(s.syncOp(wire.Op{Kind: wire.OpScan, Key: key, Arg: uint64(n)}).Val)
+}
+
+// ReadAsync implements AsyncSession.
+func (s *remoteSession) ReadAsync(key uint64) {
+	s.pending = append(s.pending, wire.Op{Kind: wire.OpGet, Key: key})
+}
+
+// ReadModifyWriteAsync implements AsyncSession.
+func (s *remoteSession) ReadModifyWriteAsync(key, delta uint64) {
+	s.pending = append(s.pending, wire.Op{Kind: wire.OpRMW, Key: key, Arg: delta})
+}
+
+// InsertAsync implements AsyncSession.
+func (s *remoteSession) InsertAsync(key, value uint64) {
+	s.pending = append(s.pending, wire.Op{Kind: wire.OpPut, Key: key, Arg: value})
+}
+
+// DeleteAsync implements AsyncSession.
+func (s *remoteSession) DeleteAsync(key uint64) {
+	s.pending = append(s.pending, wire.Op{Kind: wire.OpDel, Key: key})
+}
+
+// ScanAsync implements AsyncSession.
+func (s *remoteSession) ScanAsync(key uint64, n int) {
+	s.pending = append(s.pending, wire.Op{Kind: wire.OpScan, Key: key, Arg: uint64(n)})
+}
+
+var _ AsyncSession = (*remoteSession)(nil)
+
+// RemoteSystem is the client-side tm.System of a networked workload:
+// transaction execution, retry and fall-back all happen server-side, so
+// Atomic just runs the body once (deferring its ops into the session)
+// and counts the commit. The Ops handed to the body panics on use —
+// remote sessions never touch a local heap. The commit is counted when
+// Atomic returns; the durable acknowledgement wait happens in the
+// session's Commit flush, one call later in the driver's protocol, so
+// a measured window's commit count can lead its acked flushes by at
+// most one transaction per worker.
+type RemoteSystem struct {
+	name    string
+	threads int
+	col     *stats.Collector
+}
+
+// NewRemoteSystem builds the client system. name labels records — pass
+// the server's concurrency control so remote cells compare like local
+// ones.
+func NewRemoteSystem(name string, threads int) *RemoteSystem {
+	return &RemoteSystem{name: name, threads: threads, col: stats.New(threads)}
+}
+
+// Name implements tm.System.
+func (s *RemoteSystem) Name() string { return s.name }
+
+// Threads implements tm.System.
+func (s *RemoteSystem) Threads() int { return s.threads }
+
+// Collector implements tm.System: client-observed commits only (the
+// server's collector holds the abort taxonomy).
+func (s *RemoteSystem) Collector() *stats.Collector { return s.col }
+
+// Atomic implements tm.System.
+func (s *RemoteSystem) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
+	body(remoteNoOps{})
+	s.col.Thread(thread).Commit(kind == tm.KindReadOnly)
+}
+
+var _ tm.System = (*RemoteSystem)(nil)
+
+// clientConn is one pipelined connection: writes are serialized under a
+// mutex, a reader goroutine demultiplexes responses to waiters by
+// request id.
+type clientConn struct {
+	c  net.Conn
+	bw *bufio.Writer
+
+	wmu    sync.Mutex // serializes frame encode+write+flush
+	wbuf   []byte
+	nextID uint64 // guarded by wmu
+
+	pmu     sync.Mutex
+	pending map[uint64]chan clientReply
+	broken  error // sticky transport failure, guarded by pmu
+
+	readerDone chan struct{}
+}
+
+// clientReply is one demultiplexed response (payload copied out of the
+// reader's scratch buffer).
+type clientReply struct {
+	t       wire.Type
+	payload []byte
+}
+
+func dialConn(addr string) (*clientConn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &clientConn{
+		c:          nc,
+		bw:         bufio.NewWriter(nc),
+		pending:    map[uint64]chan clientReply{},
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *clientConn) close() error {
+	err := c.c.Close()
+	<-c.readerDone
+	return err
+}
+
+// fail marks the connection broken and wakes every waiter.
+func (c *clientConn) fail(err error) {
+	c.pmu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.pmu.Unlock()
+}
+
+func (c *clientConn) readLoop() {
+	defer close(c.readerDone)
+	br := bufio.NewReader(c.c)
+	var scratch []byte
+	for {
+		var (
+			id      uint64
+			t       wire.Type
+			payload []byte
+			err     error
+		)
+		id, t, payload, scratch, err = wire.ReadFrame(br, scratch)
+		if err != nil {
+			c.fail(fmt.Errorf("engine: remote connection: %w", err))
+			return
+		}
+		c.pmu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.pmu.Unlock()
+		if ok {
+			ch <- clientReply{t: t, payload: append([]byte(nil), payload...)}
+		}
+	}
+}
+
+// roundTrip sends one request and blocks for its response. Concurrent
+// callers pipeline: the write lock covers only the frame write, and
+// responses are matched by id.
+func (c *clientConn) roundTrip(t wire.Type, payload []byte) (wire.Type, []byte, error) {
+	ch := make(chan clientReply, 1)
+
+	c.wmu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.pmu.Lock()
+	if err := c.broken; err != nil {
+		c.pmu.Unlock()
+		c.wmu.Unlock()
+		return 0, nil, err
+	}
+	c.pending[id] = ch
+	c.pmu.Unlock()
+	c.wbuf = wire.AppendFrame(c.wbuf[:0], id, t, payload)
+	_, werr := c.bw.Write(c.wbuf)
+	if werr == nil {
+		werr = c.bw.Flush()
+	}
+	c.wmu.Unlock()
+	if werr != nil {
+		c.fail(fmt.Errorf("engine: remote connection: %w", werr))
+		return 0, nil, werr
+	}
+
+	r, ok := <-ch
+	if !ok {
+		c.pmu.Lock()
+		err := c.broken
+		c.pmu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("engine: remote connection closed")
+		}
+		return 0, nil, err
+	}
+	return r.t, r.payload, nil
+}

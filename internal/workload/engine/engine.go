@@ -72,14 +72,19 @@ func (d *Driver) pickOp(r *rng.Rand) Op {
 }
 
 // NewWorker builds one thread's executor: its deterministic stream
-// (rng.Stream(spec.Seed, thread)) and its backend session.
+// (rng.Stream(spec.Seed, thread)) and its backend session. Sessions
+// offering AsyncSession get the deferred op path (one shipped unit per
+// transaction on remote backends).
 func (d *Driver) NewWorker(sys tm.System, thread int) *Worker {
+	sess := d.b.NewSession()
+	async, _ := sess.(AsyncSession)
 	return &Worker{
 		d:      d,
 		sys:    sys,
 		thread: thread,
 		r:      rng.Stream(d.spec.Seed, uint64(thread)),
-		sess:   d.b.NewSession(),
+		sess:   sess,
+		async:  async,
 	}
 }
 
@@ -105,6 +110,7 @@ type Worker struct {
 	thread int
 	r      *rng.Rand
 	sess   Session
+	async  AsyncSession // non-nil when sess offers the deferred path
 	plan   []plannedOp
 }
 
@@ -147,6 +153,25 @@ func (w *Worker) Op() {
 	w.sess.Prepare(inserts)
 	w.sys.Atomic(w.thread, kind, func(ops tm.Ops) {
 		w.sess.Reset()
+		if w.async != nil {
+			// All of a planned transaction's results are discarded, so the
+			// whole plan defers: the session ships it as one unit at Commit.
+			for _, p := range w.plan {
+				switch p.op {
+				case OpRead:
+					w.async.ReadAsync(p.key)
+				case OpReadModifyWrite:
+					w.async.ReadModifyWriteAsync(p.key, 1)
+				case OpInsert:
+					w.async.InsertAsync(p.key, InitialValue(p.key))
+				case OpDelete:
+					w.async.DeleteAsync(p.key)
+				case OpScan:
+					w.async.ScanAsync(p.key, w.d.spec.ScanLen)
+				}
+			}
+			return
+		}
 		for _, p := range w.plan {
 			switch p.op {
 			case OpRead:
