@@ -60,6 +60,8 @@ func main() {
 		err = cmdServe(os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(os.Args[2:])
+	case "promote":
+		err = cmdPromote(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -87,6 +89,7 @@ commands:
   recover                   crash-replay a durable run directory and check invariants
   serve                     run the networked transaction server (SIGTERM drains)
   loadgen                   drive the net-* cells against a live server, write results
+  promote                   promote a follower after leader death (zero acked loss)
   compare                   compare two result files for regressions
 
 serve flags:
@@ -100,6 +103,11 @@ serve flags:
   --durable-dir=DIR         serve durably (WAL + checkpoints + meta.json in DIR)
   --window=DUR              durable group-commit fsync window (default 1ms)
   --checkpoint-every=DUR    fuzzy checkpoint interval (default 1s; 0 disables)
+  --follow=HOST:PORT        serve as a read replica of the durable leader at ADDR
+  --leader-log=PATH         shared-storage path of the leader's wal.log (for promotion)
+
+promote flags:
+  --addr=HOST:PORT          follower address to promote (required)
 
 loadgen flags:
   --addr=HOST:PORT          server address (required)

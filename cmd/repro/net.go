@@ -13,6 +13,7 @@ import (
 
 	"sihtm/internal/experiments"
 	"sihtm/internal/results"
+	"sihtm/internal/workload/engine"
 )
 
 // cmdServe runs the networked service layer: build one scenario
@@ -32,22 +33,26 @@ func cmdServe(args []string) error {
 		dir       = fs.String("durable-dir", "", "serve durably: WAL + checkpoints + meta.json in DIR")
 		window    = fs.Duration("window", time.Millisecond, "durable group-commit fsync window")
 		ckptEvery = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
+		follow    = fs.String("follow", "", "serve as a read replica of the durable leader at ADDR")
+		leaderLog = fs.String("leader-log", "", "shared-storage path of the leader's wal.log (promotion catch-up)")
 		quiet     = fs.Bool("quiet", false, "suppress the per-second stats line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ns, err := experiments.StartNetServer(experiments.ServeConfig{
-		Addr:       *addr,
-		Scenario:   *scenario,
-		System:     *system,
-		ScaleName:  *scaleName,
-		Shards:     *shards,
-		BatchMax:   *batch,
-		AdmitWait:  *admitWait,
-		DurableDir: *dir,
-		Window:     *window,
-		CkptEvery:  *ckptEvery,
+		Addr:          *addr,
+		Scenario:      *scenario,
+		System:        *system,
+		ScaleName:     *scaleName,
+		Shards:        *shards,
+		BatchMax:      *batch,
+		AdmitWait:     *admitWait,
+		DurableDir:    *dir,
+		Window:        *window,
+		CkptEvery:     *ckptEvery,
+		FollowAddr:    *follow,
+		LeaderLogPath: *leaderLog,
 	})
 	if err != nil {
 		return err
@@ -55,6 +60,9 @@ func cmdServe(args []string) error {
 	durability := "volatile"
 	if *dir != "" {
 		durability = fmt.Sprintf("durable (%s, window %s)", *dir, *window)
+	}
+	if *follow != "" {
+		durability = fmt.Sprintf("follower of %s (read-only until promoted)", *follow)
 	}
 	fmt.Fprintf(os.Stderr, "serve: %s on %s, %d shards, batch<=%d, %s — listening on %s\n",
 		*scenario, *system, *shards, *batch, durability, ns.Addr)
@@ -93,6 +101,42 @@ func cmdServe(args []string) error {
 			return err
 		}
 	}
+}
+
+// cmdPromote asks a follower (`repro serve --follow`) to promote
+// itself: stop streaming, catch up from the dead leader's on-disk log
+// (its valid prefix holds every acknowledged commit — the zero-loss
+// argument), and start admitting writes. Exits non-zero if the
+// promoted watermark falls short of the leader's last advertised
+// durable frontier, or if the promoted state fails its structural
+// check.
+func cmdPromote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ExitOnError)
+	addr := fs.String("addr", "", "follower address (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *addr == "" {
+		return fmt.Errorf("promote needs --addr")
+	}
+	rb, err := engine.DialRemote(*addr, 1)
+	if err != nil {
+		return err
+	}
+	defer rb.Close()
+	rs, err := rb.Promote()
+	if err != nil {
+		return err
+	}
+	if rs.Watermark < rs.LeaderSeq {
+		return fmt.Errorf("ACKED LOSS: promoted watermark %d < advertised leader frontier %d", rs.Watermark, rs.LeaderSeq)
+	}
+	if err := rb.Check(); err != nil {
+		return fmt.Errorf("promoted state check: %w", err)
+	}
+	fmt.Printf("promote: %s now role=%s, zero acknowledged loss (watermark %d >= advertised leader frontier %d, reconnects %d)\n",
+		*addr, rs.Role, rs.Watermark, rs.LeaderSeq, rs.Reconnects)
+	return nil
 }
 
 // cmdLoadgen drives the networked registry cells against a live `repro

@@ -70,9 +70,10 @@ type threadSeq struct {
 // on a system's fall-back path routes every committed write set into
 // the log.
 type Store struct {
-	heap *memsim.Heap
-	log  *wal.Log
-	cfg  Config
+	heap    *memsim.Heap
+	log     *wal.Log
+	logPath string
+	cfg     Config
 
 	// barrier is the checkpoint barrier: every capture+publish runs
 	// under RLock (PreCommit takes it, PostCommit releases it), so a
@@ -99,11 +100,20 @@ func Open(heap *memsim.Heap, logPath string, threads int, cfg Config) (*Store, e
 	if err != nil {
 		return nil, err
 	}
-	return &Store{heap: heap, log: l, cfg: cfg, last: make([]threadSeq, threads)}, nil
+	return &Store{heap: heap, log: l, logPath: logPath, cfg: cfg, last: make([]threadSeq, threads)}, nil
 }
 
 // Log exposes the underlying write-ahead log (stats, manual Sync).
 func (s *Store) Log() *wal.Log { return s.log }
+
+// LogPath returns the log file's path — what a replication publisher
+// tails and a promoted follower catches up from.
+func (s *Store) LogPath() string { return s.logPath }
+
+// DurableSeq returns the highest fsynced sequence number: the
+// acknowledgement frontier, and the bound on what a leader may stream
+// to followers (acked ⇒ on disk ⇒ shippable).
+func (s *Store) DurableSeq() uint64 { return s.log.DurableSeq() }
 
 // Heap returns the heap the store persists.
 func (s *Store) Heap() *memsim.Heap { return s.heap }

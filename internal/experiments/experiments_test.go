@@ -19,8 +19,8 @@ func quickScale() Scale {
 
 func TestRegistryIsComplete(t *testing.T) {
 	entries := Registry()
-	if len(entries) != 27 { // 10 figure panels + 6 scenarios + 3 durable + 3 net + 5 ablations
-		t.Fatalf("Registry() = %d entries, want 27", len(entries))
+	if len(entries) != 29 { // 10 figure panels + 6 scenarios + 3 durable + 3 net + 2 repl + 5 ablations
+		t.Fatalf("Registry() = %d entries, want 29", len(entries))
 	}
 	seen := map[string]bool{}
 	figures := map[int]bool{}
@@ -85,7 +85,7 @@ func TestLookupAndSelect(t *testing.T) {
 		sel  string
 		want int
 	}{
-		{"all", 27},
+		{"all", 29},
 		{"figures", 10},
 		{"scenarios", 6},
 		{"ablations", 5},
@@ -98,6 +98,7 @@ func TestLookupAndSelect(t *testing.T) {
 		{"zipf", 1},
 		{"durable", 3},
 		{"net", 3},
+		{"repl", 2},
 		{"fig6,fig9-low,capacity", 4},
 		{"ycsb,vacation,zipf", 6},
 		{"scenarios,durable,net", 12},

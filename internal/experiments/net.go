@@ -12,6 +12,7 @@ import (
 
 	"sihtm/internal/durable"
 	"sihtm/internal/harness"
+	"sihtm/internal/replica"
 	"sihtm/internal/results"
 	"sihtm/internal/server"
 	"sihtm/internal/stats"
@@ -512,6 +513,18 @@ type ServeConfig struct {
 	// CkptEvery is the fuzzy checkpoint interval (0 disables periodic
 	// checkpoints; the drain-time checkpoint still happens).
 	CkptEvery time.Duration
+	// FollowAddr, when set, makes this server a read replica of the
+	// durable leader at that address: the scenario is rebuilt to the
+	// identical deterministic base image (the leader's TStats reply is
+	// probed to enforce matching build parameters), the leader's WAL
+	// stream is replayed into the local heap, and only read-only
+	// requests are admitted until promotion. Mutually exclusive with
+	// DurableDir.
+	FollowAddr string
+	// LeaderLogPath is the shared-storage path of the leader's wal.log;
+	// promotion catches up from its valid prefix, which contains every
+	// acknowledged commit.
+	LeaderLogPath string
 }
 
 // NetServer is a running `repro serve` instance.
@@ -522,6 +535,7 @@ type NetServer struct {
 	Addr net.Addr
 
 	store *durable.Store
+	fol   *replica.Follower
 	cfg   ServeConfig
 	ckpt  *checkpointer
 }
@@ -561,6 +575,40 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 		AdmitWait: cfg.AdmitWait,
 		Scenario:  cfg.Scenario,
 		Scale:     cfg.ScaleName,
+	}
+	if cfg.FollowAddr != "" {
+		if cfg.DurableDir != "" {
+			return nil, fmt.Errorf("experiments: a follower cannot also serve durably (--follow excludes --durable-dir)")
+		}
+		// The replica's base image must be the exact deterministic build
+		// the leader's log was opened on; probe the leader and refuse a
+		// mismatched build rather than silently diverging.
+		probe, err := engine.DialRemote(cfg.FollowAddr, 1)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: probing leader %s: %w", cfg.FollowAddr, err)
+		}
+		st, err := probe.Stats()
+		probe.Close()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: probing leader %s: %w", cfg.FollowAddr, err)
+		}
+		if !st.Durable {
+			return nil, fmt.Errorf("experiments: leader %s is not durable; a volatile server has no WAL to stream", cfg.FollowAddr)
+		}
+		if st.Scenario != cfg.Scenario || st.Scale != cfg.ScaleName || st.Shards != cfg.Shards {
+			return nil, fmt.Errorf("experiments: build mismatch with leader %s: it runs %s/%s shards=%d, this follower %s/%s shards=%d",
+				cfg.FollowAddr, st.Scenario, st.Scale, st.Shards, cfg.Scenario, cfg.ScaleName, cfg.Shards)
+		}
+		leader := cfg.FollowAddr
+		ns.fol, err = replica.NewFollower(replica.FollowerConfig{
+			Heap: heap,
+			Dial: func() (net.Conn, error) { return net.Dial("tcp", leader) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		scfg.Follower = ns.fol
+		scfg.LeaderLogPath = cfg.LeaderLogPath
 	}
 	if cfg.DurableDir != "" {
 		if cfg.Scenario != "ycsb-a" {
@@ -619,6 +667,9 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 	if ns.store != nil && cfg.CkptEvery > 0 {
 		ns.ckpt = startCheckpointer(ns.store, ckptPath(cfg.DurableDir), cfg.CkptEvery)
 	}
+	if ns.fol != nil {
+		ns.fol.Start()
+	}
 	return ns, nil
 }
 
@@ -631,6 +682,12 @@ func (ns *NetServer) Shutdown() error {
 	ns.ckpt = nil
 	if derr := ns.Srv.Drain(); err == nil {
 		err = derr
+	}
+	if ns.fol != nil {
+		if ferr := ns.fol.Close(); err == nil {
+			err = ferr
+		}
+		ns.fol = nil
 	}
 	if ns.store != nil {
 		if cerr := ns.store.Close(); err == nil {

@@ -98,7 +98,8 @@ func (e Entry) record(param string, hr harness.Result) results.Record {
 var registryIDs = append(append(append([]string{}, FigureOrder...),
 	"ycsb-a", "ycsb-b", "ycsb-c", "zipf", "vacation-low", "vacation-high",
 	"durable-ycsb-a", "durable-vacation", "durable-window",
-	"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a"),
+	"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a",
+	"repl-ycsb-c", "repl-failover"),
 	"capacity", "tmcam", "rofast", "killer", "smt")
 
 // registryRank maps entry id → presentation rank.
@@ -121,6 +122,7 @@ func Registry() []Entry {
 	entries = append(entries, scenarioEntries()...)
 	entries = append(entries, durableEntries()...)
 	entries = append(entries, netEntries()...)
+	entries = append(entries, replEntries()...)
 	entries = append(entries,
 		capacityEntry(),
 		tmcamEntry(),
@@ -144,7 +146,8 @@ func Lookup(id string) (Entry, bool) {
 // Group classifies the entry for selectors and `repro list`:
 // "figures" (paper figure panels), "scenarios" (workload-engine YCSB /
 // Zipf / vacation), "durable" (WAL-backed cells), "net" (networked
-// service-layer cells) or "ablations".
+// service-layer cells), "repl" (replicated-cluster cells) or
+// "ablations".
 func (e Entry) Group() string {
 	switch {
 	case e.Figure > 0:
@@ -153,6 +156,8 @@ func (e Entry) Group() string {
 		return "durable"
 	case e.Workload == "net":
 		return "net"
+	case e.Workload == "repl":
+		return "repl"
 	case scenarioWorkloads[e.Workload]:
 		return "scenarios"
 	default:
@@ -162,7 +167,7 @@ func (e Entry) Group() string {
 
 // Groups lists the selector groups in presentation order.
 func Groups() []string {
-	return []string{"figures", "scenarios", "durable", "net", "ablations"}
+	return []string{"figures", "scenarios", "durable", "net", "repl", "ablations"}
 }
 
 // Select resolves a selector to registry entries, in registry order:

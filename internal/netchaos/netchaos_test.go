@@ -1,0 +1,143 @@
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoListener accepts connections and echoes bytes until they close.
+func echoListener(t *testing.T) net.Addr {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				io.Copy(c, c)
+			}(c)
+		}
+	}()
+	return ln.Addr()
+}
+
+// run drives one dial-write-read round; reports whether the round
+// survived and how many payload bytes echoed back.
+func run(d *Dialer) (ok bool, echoed int) {
+	c, err := d.Dial()
+	if err != nil {
+		return false, 0
+	}
+	defer c.Close()
+	msg := []byte("0123456789abcdef")
+	if _, err := c.Write(msg); err != nil {
+		return false, 0
+	}
+	buf := make([]byte, len(msg))
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	n, err := io.ReadFull(c, buf)
+	return err == nil, n
+}
+
+// TestDeterminism: the same seed must produce the same cut/refusal
+// trace; a different seed a (very likely) different one.
+func TestDeterminism(t *testing.T) {
+	addr := echoListener(t)
+	cfg := Config{
+		Seed:        42,
+		CutAfterMin: 1, CutAfterMax: 6,
+		TearProb:     0.5,
+		PartitionMin: 1, PartitionMax: 3,
+	}
+	trace := func(cfg Config) (tr []bool, cuts, refused uint64) {
+		d := NewDialer(addr.String(), cfg)
+		for i := 0; i < 60; i++ {
+			ok, _ := run(d)
+			tr = append(tr, ok)
+		}
+		return tr, d.Cuts(), d.Refused()
+	}
+	t1, c1, r1 := trace(cfg)
+	t2, c2, r2 := trace(cfg)
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("same seed diverged: cuts %d/%d, refused %d/%d", c1, c2, r1, r2)
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("same seed diverged at round %d", i)
+		}
+	}
+	if c1 == 0 || r1 == 0 {
+		t.Fatalf("schedule never bit: cuts=%d refused=%d", c1, r1)
+	}
+}
+
+// TestPartitionWindow: after a cut, the drawn number of dials must be
+// refused with ErrPartitioned, then dialing recovers.
+func TestPartitionWindow(t *testing.T) {
+	addr := echoListener(t)
+	d := NewDialer(addr.String(), Config{
+		Seed:        7,
+		CutAfterMin: 1, CutAfterMax: 2,
+		PartitionMin: 2, PartitionMax: 4,
+	})
+	// Burn rounds until a cut lands, then count refusals.
+	for i := 0; i < 20 && d.Cuts() == 0; i++ {
+		run(d)
+	}
+	if d.Cuts() == 0 {
+		t.Fatal("no cut in 20 rounds")
+	}
+	sawRefusal := false
+	for i := 0; i < 10; i++ {
+		c, err := d.Dial()
+		if errors.Is(err, ErrPartitioned) {
+			sawRefusal = true
+			continue
+		}
+		if err == nil {
+			c.Close()
+			break
+		}
+	}
+	if !sawRefusal {
+		t.Fatal("partition window refused no dials")
+	}
+	if d.Refused() == 0 {
+		t.Fatal("refusal counter not advanced")
+	}
+}
+
+// TestDeadConnStaysDead: I/O after the injected kill keeps failing
+// rather than touching the closed socket.
+func TestDeadConnStaysDead(t *testing.T) {
+	addr := echoListener(t)
+	d := NewDialer(addr.String(), Config{Seed: 1, CutAfterMin: 1, CutAfterMax: 1})
+	c, err := d.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatalf("budget-1 conn died before its budget: %v", err)
+	}
+	if _, err := c.Write([]byte("y")); err == nil {
+		t.Fatal("budget-1 conn survived its second write")
+	}
+	if _, err := c.Write([]byte("z")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead conn write: %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dead conn read: %v", err)
+	}
+}

@@ -1,0 +1,369 @@
+package replica
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/footprint"
+	"sihtm/internal/memsim"
+	"sihtm/internal/wal"
+	"sihtm/internal/wire"
+)
+
+// FollowerConfig assembles a Follower.
+type FollowerConfig struct {
+	// Heap is the follower's heap, already holding the deterministic
+	// base image (the same post-population state the leader's log was
+	// started from — the contract crash recovery also relies on).
+	Heap *memsim.Heap
+	// From is the first sequence number to apply (default 1). A
+	// follower restarted after recovering its own log to sequence S
+	// resumes with From = S+1.
+	From uint64
+	// Dial opens a connection to the leader. Tests and chaos harnesses
+	// inject fault-wrapped dialers here.
+	Dial func() (net.Conn, error)
+	// OwnLogPath, when set, persists every applied record into the
+	// follower's own WAL: the promoted follower then owns a complete
+	// log (verification replays it; new followers could tail it).
+	OwnLogPath string
+	// ReadTimeout bounds one stream read; it doubles as the liveness
+	// timeout (the leader heartbeats far more often). Default 1s.
+	ReadTimeout time.Duration
+	// RetryEvery paces reconnect attempts. Default 5ms.
+	RetryEvery time.Duration
+}
+
+// Follower replays the leader's stream into its own heap and publishes
+// how far it got. Reads served off the heap take RLock so they observe
+// a consistent prefix (apply holds the write lock per batch); the
+// watermark a read observes is the sequence number its snapshot
+// corresponds to.
+type Follower struct {
+	cfg    FollowerConfig
+	heap   *memsim.Heap
+	ownLog *wal.Log
+
+	// mu excludes batch application from snapshot readers: apply holds
+	// Lock across a whole batch, readers hold RLock across a whole
+	// read transaction, so every read sees a record boundary.
+	mu sync.RWMutex
+
+	watermark atomic.Uint64 // highest applied sequence (published under mu)
+	leaderSeq atomic.Uint64 // durable frontier the leader last advertised
+	maxAddr   memsim.Addr   // highest replayed address (guarded by mu)
+
+	promoted   atomic.Bool
+	reconnects atomic.Uint64
+	applied    atomic.Uint64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewFollower validates the configuration and builds the follower (not
+// yet streaming).
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Heap == nil || cfg.Dial == nil {
+		return nil, fmt.Errorf("replica: FollowerConfig needs Heap and Dial")
+	}
+	if cfg.From == 0 {
+		cfg.From = 1
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = time.Second
+	}
+	if cfg.RetryEvery <= 0 {
+		cfg.RetryEvery = 5 * time.Millisecond
+	}
+	f := &Follower{
+		cfg:  cfg,
+		heap: cfg.Heap,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	f.watermark.Store(cfg.From - 1)
+	if cfg.OwnLogPath != "" {
+		l, err := wal.Create(cfg.OwnLogPath, wal.Config{NoDaemon: true, FirstSeq: cfg.From})
+		if err != nil {
+			return nil, err
+		}
+		f.ownLog = l
+	}
+	return f, nil
+}
+
+// Start launches the streaming loop: dial, subscribe from the
+// watermark, apply until the connection dies, reconnect. Idempotent.
+func (f *Follower) Start() {
+	f.startOnce.Do(func() { go f.run() })
+}
+
+// Stop ends the streaming loop and waits for it to exit. Idempotent;
+// implied by Promote.
+func (f *Follower) Stop() {
+	f.stopOnce.Do(func() { close(f.stop) })
+	f.startOnce.Do(func() { close(f.done) }) // never started: unblock the wait
+	<-f.done
+}
+
+// Close stops the follower and closes its own log, syncing it first.
+func (f *Follower) Close() error {
+	f.Stop()
+	if f.ownLog != nil {
+		return f.ownLog.Close()
+	}
+	return nil
+}
+
+// Watermark returns the highest applied sequence number: reads served
+// under RLock observe exactly commits 1..Watermark.
+func (f *Follower) Watermark() uint64 { return f.watermark.Load() }
+
+// LeaderSeq returns the durable frontier the leader last advertised;
+// LeaderSeq - Watermark is the replication lag in commits.
+func (f *Follower) LeaderSeq() uint64 { return f.leaderSeq.Load() }
+
+// Reconnects counts stream re-establishments (chaos survivability).
+func (f *Follower) Reconnects() uint64 { return f.reconnects.Load() }
+
+// Applied counts applied records.
+func (f *Follower) Applied() uint64 { return f.applied.Load() }
+
+// Promoted reports whether the follower has been promoted.
+func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// RLock / RUnlock bracket one snapshot read transaction.
+func (f *Follower) RLock()   { f.mu.RLock() }
+func (f *Follower) RUnlock() { f.mu.RUnlock() }
+
+// Lock / Unlock quiesce the follower entirely (structural checks).
+func (f *Follower) Lock()   { f.mu.Lock() }
+func (f *Follower) Unlock() { f.mu.Unlock() }
+
+// WaitWatermark blocks until the watermark reaches seq or the timeout
+// expires, reporting which.
+func (f *Follower) WaitWatermark(seq uint64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for f.watermark.Load() < seq {
+		if time.Now().After(deadline) {
+			return f.watermark.Load() >= seq
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return true
+}
+
+// Stats summarizes the follower for the control plane.
+func (f *Follower) Stats() wire.ReplStats {
+	role := "follower"
+	if f.promoted.Load() {
+		role = "promoted"
+	}
+	return wire.ReplStats{
+		Role:       role,
+		Watermark:  f.watermark.Load(),
+		LeaderSeq:  f.leaderSeq.Load(),
+		Reconnects: f.reconnects.Load(),
+	}
+}
+
+// Promote turns the follower into a serving leader: stop the stream,
+// catch up from the (dead) leader's log file when a path is given —
+// Replay's valid prefix contains every acknowledged commit, which is
+// the zero-loss argument — and mark the node promoted so its server
+// starts admitting writes. Returns the final watermark.
+func (f *Follower) Promote(leaderLogPath string) (uint64, error) {
+	f.Stop()
+	if leaderLogPath != "" {
+		if err := f.CatchUp(leaderLogPath); err != nil {
+			return f.watermark.Load(), err
+		}
+	}
+	if f.ownLog != nil {
+		if err := f.ownLog.Sync(); err != nil {
+			return f.watermark.Load(), err
+		}
+	}
+	f.promoted.Store(true)
+	return f.watermark.Load(), nil
+}
+
+// CatchUp replays the valid prefix of the log at path, applying every
+// record past the current watermark. The caller must have stopped the
+// stream first (Promote does).
+func (f *Follower) CatchUp(path string) error {
+	_, err := wal.Replay(path, func(seq uint64, entries []footprint.Entry) error {
+		if seq <= f.watermark.Load() {
+			return nil
+		}
+		return f.applyOne(seq, entries)
+	})
+	return err
+}
+
+// run is the streaming loop.
+func (f *Follower) run() {
+	defer close(f.done)
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		conn, err := f.cfg.Dial()
+		if err != nil {
+			f.pause()
+			continue
+		}
+		err = f.follow(conn)
+		conn.Close()
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		_ = err // any stream end short of Stop is a reconnect
+		f.reconnects.Add(1)
+		f.pause()
+	}
+}
+
+// pause sleeps one retry quantum, or returns early on stop.
+func (f *Follower) pause() {
+	select {
+	case <-f.stop:
+	case <-time.After(f.cfg.RetryEvery):
+	}
+}
+
+// follow subscribes on one connection and applies its stream until the
+// connection breaks or the follower stops. Any read timeout is treated
+// as a dead leader (heartbeats bound the idle gap), so a stuck stream
+// converges to reconnect-and-resume rather than hanging.
+func (f *Follower) follow(conn net.Conn) error {
+	sub := wire.AppendFrame(nil, 1, wire.TReplSub, wire.AppendReplSub(nil, f.watermark.Load()+1))
+	conn.SetWriteDeadline(time.Now().Add(f.cfg.ReadTimeout))
+	if _, err := conn.Write(sub); err != nil {
+		return err
+	}
+	var buf []byte
+	for {
+		select {
+		case <-f.stop:
+			return nil
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
+		var (
+			t       wire.Type
+			payload []byte
+			err     error
+		)
+		_, t, payload, buf, err = wire.ReadFrame(conn, buf)
+		if err != nil {
+			return err
+		}
+		switch t {
+		case wire.TReplBatch:
+			b, err := wire.ParseReplBatch(payload)
+			if err != nil {
+				return err
+			}
+			if err := f.applyBatch(b); err != nil {
+				return err
+			}
+		case wire.TErr:
+			return fmt.Errorf("replica: leader refused: %s", payload)
+		default:
+			return fmt.Errorf("replica: unexpected stream frame %v", t)
+		}
+	}
+}
+
+// applyBatch applies one stream batch under the write lock. Records at
+// or below the watermark are skipped (a resumed stream may overlap);
+// a gap is a stream error — the reconnect path resubscribes from the
+// watermark and heals it.
+func (f *Follower) applyBatch(b wire.ReplBatch) error {
+	if b.Watermark > f.leaderSeq.Load() {
+		f.leaderSeq.Store(b.Watermark)
+	}
+	if len(b.Records) == 0 {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, rec := range b.Records {
+		wm := f.watermark.Load()
+		if rec.Seq <= wm {
+			continue
+		}
+		if rec.Seq != wm+1 {
+			return fmt.Errorf("replica: stream gap: got seq %d at watermark %d", rec.Seq, wm)
+		}
+		if err := f.applyPairsLocked(rec.Seq, rec.Pairs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyOne applies one record from a log replay (CatchUp), taking the
+// write lock per record.
+func (f *Follower) applyOne(seq uint64, entries []footprint.Entry) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	wm := f.watermark.Load()
+	if seq != wm+1 {
+		return fmt.Errorf("replica: catch-up gap: got seq %d at watermark %d", seq, wm)
+	}
+	pairs := make([]wire.ReplPair, len(entries))
+	for i, e := range entries {
+		pairs[i] = wire.ReplPair{Addr: uint64(e.Addr), Val: e.Val}
+	}
+	return f.applyPairsLocked(seq, pairs)
+}
+
+// applyPairsLocked redoes one record into the heap, mirrors it into the
+// follower's own log, advances the allocation watermark past replayed
+// lines (the same rule recovery applies) and publishes the new
+// watermark. Callers hold mu.
+func (f *Follower) applyPairsLocked(seq uint64, pairs []wire.ReplPair) error {
+	var entries []footprint.Entry
+	if f.ownLog != nil {
+		entries = make([]footprint.Entry, len(pairs))
+	}
+	for i, pr := range pairs {
+		a := memsim.Addr(pr.Addr)
+		if int(a) >= f.heap.Size() {
+			return fmt.Errorf("replica: redo address %d beyond heap size %d", a, f.heap.Size())
+		}
+		f.heap.Store(a, pr.Val)
+		if a > f.maxAddr {
+			f.maxAddr = a
+		}
+		if entries != nil {
+			entries[i] = footprint.Entry{Addr: a, Val: pr.Val}
+		}
+	}
+	if f.ownLog != nil {
+		if got := f.ownLog.Append(entries); got != seq {
+			return fmt.Errorf("replica: own log assigned seq %d for record %d", got, seq)
+		}
+	}
+	if len(pairs) > 0 {
+		end := (memsim.LineOf(f.maxAddr) + 1).FirstAddr()
+		if int(end) > f.heap.Allocated() {
+			f.heap.RestoreAllocated(int(end))
+		}
+	}
+	f.applied.Add(1)
+	f.watermark.Store(seq)
+	return nil
+}

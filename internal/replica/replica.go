@@ -1,0 +1,146 @@
+// Package replica is the WAL-shipping layer of the replicated cluster:
+// a leader publishes its committed redo records to followers, each
+// follower continuously replays them into its own heap and serves
+// read-only transactions from the replayed snapshot, and a follower can
+// be promoted into a serving leader after the old leader dies.
+//
+// The design composes three existing guarantees:
+//
+//   - The WAL's ordering contract (file order = sequence order =
+//     serialization order) means a follower that applies records in
+//     sequence order holds, at watermark W, exactly the state produced
+//     by commits 1..W — the same prefix-consistency argument as crash
+//     recovery, running continuously.
+//   - The durable store's "acknowledged ⇒ fsynced" rule bounds what the
+//     leader ships: only records at or below the durable frontier go on
+//     the wire, so a follower never applies a commit the leader could
+//     still lose.
+//   - The paper's snapshot read-only transactions are the consistency
+//     story for replica reads: a follower's reads run against a
+//     stale-but-consistent prefix at a published watermark — exactly an
+//     SI-HTM ROT whose snapshot is W commits old.
+//
+// Failover is shared-log promotion: a promoted follower first catches
+// up from the dead leader's log file on disk (Replay's valid prefix —
+// everything acknowledged is inside it, the torn tail never was), so
+// zero acknowledged commits are lost even when the replication stream
+// was cut mid-flight. The stream's job is to keep the follower near the
+// frontier so promotion is fast; the log's job is to make it exact.
+package replica
+
+import (
+	"io"
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/wal"
+	"sihtm/internal/wire"
+)
+
+// streamChunkBytes bounds one TReplBatch payload; large commits still
+// ship (a single record is never split), the bound only decides where
+// record runs are cut into frames.
+const streamChunkBytes = 128 << 10
+
+// heartbeatEvery is the idle bound on the stream: a publisher with
+// nothing new to ship emits an empty batch this often so followers can
+// tell a quiet leader from a dead one (their read timeout is a small
+// multiple of this).
+const heartbeatEvery = 50 * time.Millisecond
+
+// pollEvery is the publisher's poll quantum against the durable
+// frontier.
+const pollEvery = 500 * time.Microsecond
+
+// Publisher is the leader side of WAL shipping: it serves any number of
+// subscribers, each tailing the leader's log file from the subscriber's
+// own resume point, bounded by the durable frontier.
+type Publisher struct {
+	logPath string
+	log     *wal.Log
+	subs    atomic.Int64
+}
+
+// NewPublisher builds a publisher over the leader's log. logPath is the
+// same file the log appends to; each subscriber gets its own read-only
+// tailer over it.
+func NewPublisher(logPath string, log *wal.Log) *Publisher {
+	return &Publisher{logPath: logPath, log: log}
+}
+
+// Subscribers returns the number of live streams.
+func (p *Publisher) Subscribers() int { return int(p.subs.Load()) }
+
+// Stream serves one subscriber: TReplBatch frames carrying consecutive
+// records from fromSeq onward, bounded by the durable frontier, written
+// to w until the write fails or stop reports true. Every frame carries
+// the frontier as its watermark; idle periods are bridged by heartbeat
+// frames so the subscriber's liveness timeout holds.
+func (p *Publisher) Stream(w io.Writer, id, fromSeq uint64, stop func() bool) error {
+	t, err := wal.OpenTailer(p.logPath, fromSeq)
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	p.subs.Add(1)
+	defer p.subs.Add(-1)
+
+	var recs []wal.Record
+	var payload, frame []byte
+	var advertised uint64
+	lastSend := time.Now()
+
+	emit := func(b wire.ReplBatch) error {
+		payload = wire.AppendReplBatch(payload[:0], b)
+		frame = wire.AppendFrame(frame[:0], id, wire.TReplBatch, payload)
+		if _, err := w.Write(frame); err != nil {
+			return err
+		}
+		advertised = b.Watermark
+		lastSend = time.Now()
+		return nil
+	}
+
+	for {
+		if stop != nil && stop() {
+			return nil
+		}
+		limit := p.log.DurableSeq()
+		recs, err = t.Next(limit, recs[:0])
+		if err != nil {
+			return err
+		}
+		if len(recs) == 0 {
+			if limit > advertised || time.Since(lastSend) >= heartbeatEvery {
+				if err := emit(wire.ReplBatch{Watermark: limit}); err != nil {
+					return err
+				}
+				continue
+			}
+			time.Sleep(pollEvery)
+			continue
+		}
+		// Chunk the run into bounded frames; a record is never split.
+		batch := wire.ReplBatch{Watermark: limit}
+		size := 0
+		for _, r := range recs {
+			rec := wire.ReplRecord{Seq: r.Seq, Pairs: make([]wire.ReplPair, len(r.Entries))}
+			for i, e := range r.Entries {
+				rec.Pairs[i] = wire.ReplPair{Addr: uint64(e.Addr), Val: e.Val}
+			}
+			recBytes := 12 + len(rec.Pairs)*16
+			if len(batch.Records) > 0 && (size+recBytes > streamChunkBytes || len(batch.Records) >= wire.MaxReplRecords) {
+				if err := emit(batch); err != nil {
+					return err
+				}
+				batch = wire.ReplBatch{Watermark: limit}
+				size = 0
+			}
+			batch.Records = append(batch.Records, rec)
+			size += recBytes
+		}
+		if err := emit(batch); err != nil {
+			return err
+		}
+	}
+}

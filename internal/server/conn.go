@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -10,6 +11,24 @@ import (
 
 	"sihtm/internal/wire"
 )
+
+var (
+	errReadOnlyReplica = errors.New("server: read-only replica (not promoted)")
+	errNotLeader       = errors.New("server: not a replication leader (no durable store)")
+	errNotFollower     = errors.New("server: not a follower")
+)
+
+// hasWrite reports whether any op mutates — the replica's admission
+// gate (GET/SCAN point reads and read-only TXNs pass, everything else
+// is refused until promotion).
+func hasWrite(ops []wire.Op) bool {
+	for _, op := range ops {
+		if !op.Kind.ReadOnly() {
+			return true
+		}
+	}
+	return false
+}
 
 // srvConn is one client connection: a reader goroutine parses frames
 // and routes data-plane requests into shard queues (control-plane
@@ -114,6 +133,10 @@ func (c *srvConn) readLoop() {
 				c.sendErr(id, err)
 				continue
 			}
+			if f := c.srv.cfg.Follower; f != nil && !f.Promoted() && hasWrite(ops) {
+				c.sendErr(id, errReadOnlyReplica)
+				continue
+			}
 			tsk := &task{
 				c:   c,
 				id:  id,
@@ -147,16 +170,53 @@ func (c *srvConn) readLoop() {
 			c.send(wire.AppendFrame(nil, id, wire.TReply, wire.EncodeJSON(c.srv.statsSnapshot())))
 
 		case wire.TCheck:
-			// Quiesce the executors (batches run under RLock) so the
-			// backend's structural walk sees no transaction mid-flight.
+			// Quiesce the executors (batches run under RLock) — and, on a
+			// replica, the replay applier — so the backend's structural
+			// walk sees no transaction or half-applied record mid-flight.
 			c.srv.execMu.Lock()
+			if f := c.srv.cfg.Follower; f != nil {
+				f.Lock()
+			}
 			err := c.srv.cfg.Backend.Check()
+			if f := c.srv.cfg.Follower; f != nil {
+				f.Unlock()
+			}
 			c.srv.execMu.Unlock()
 			if err != nil {
 				c.sendErr(id, err)
 			} else {
 				c.sendEmptyReply(id)
 			}
+
+		case wire.TReplSub:
+			from, perr := wire.ParseReplSub(payload)
+			if perr != nil {
+				c.sendErr(id, perr)
+				continue
+			}
+			if c.srv.pub == nil {
+				c.sendErr(id, errNotLeader)
+				continue
+			}
+			// The subscription hijacks the connection (protocol contract:
+			// TReplSub is the only request ever sent on it), so the reader
+			// goroutine itself becomes the stream pump, writing frames
+			// straight to the socket. Drain stops it via the stop hook.
+			c.streamRepl(id, from)
+			return
+
+		case wire.TReplPromote:
+			f := c.srv.cfg.Follower
+			if f == nil {
+				c.sendErr(id, errNotFollower)
+				continue
+			}
+			if _, perr := f.Promote(c.srv.cfg.LeaderLogPath); perr != nil {
+				c.sendErr(id, perr)
+				continue
+			}
+			rs := f.Stats()
+			c.send(wire.AppendFrame(nil, id, wire.TReply, wire.EncodeJSON(rs)))
 
 		default:
 			c.sendErr(id, fmt.Errorf("server: unexpected message type %v", t))
@@ -197,6 +257,24 @@ func decodeData(t wire.Type, payload []byte, dst []wire.Op) ([]wire.Op, error) {
 	default: // wire.TTxn
 		return wire.ParseOps(payload, dst)
 	}
+}
+
+// streamRepl pumps the replication stream on a hijacked connection.
+// Frames are written directly to the socket (the writer queue is idle:
+// nothing else was, or will be, requested on this connection), each
+// write bounded by writeTimeout; drain stops the pump.
+func (c *srvConn) streamRepl(id, from uint64) {
+	c.srv.pub.Stream(deadlineWriter{c.c}, id, from, func() bool {
+		return c.srv.draining.Load()
+	})
+}
+
+// deadlineWriter arms writeTimeout before every socket write.
+type deadlineWriter struct{ c net.Conn }
+
+func (w deadlineWriter) Write(p []byte) (int, error) {
+	w.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	return w.c.Write(p)
 }
 
 // writeTimeout bounds each reply write: a client that stops reading

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"sihtm/internal/durable"
+	"sihtm/internal/replica"
 	"sihtm/internal/stats"
 	"sihtm/internal/tm"
 	"sihtm/internal/wire"
@@ -69,10 +70,20 @@ type Config struct {
 	AdmitWait time.Duration
 	// Store, when non-nil, is the durability manager already attached to
 	// System; Drain forces a final checkpoint to CheckpointPath (if set)
-	// and syncs the log.
+	// and syncs the log. A durable server is automatically a replication
+	// leader: TReplSub subscribers stream its log.
 	Store *durable.Store
 	// CheckpointPath receives Drain's final checkpoint.
 	CheckpointPath string
+	// Follower, when non-nil, makes this a replica server: the backend's
+	// heap is fed by the follower's replay, write requests are refused
+	// until promotion, and reads run under the follower's snapshot lock.
+	// The caller starts the follower; TReplPromote promotes it.
+	Follower *replica.Follower
+	// LeaderLogPath is the (shared-storage) path of the leader's WAL,
+	// used by promotion to catch up past the dead leader's stream — the
+	// zero-acked-loss step. Empty skips catch-up.
+	LeaderLogPath string
 	// Scenario and Scale label the hosted workload build in TStats
 	// replies, so remote load generators can rebuild the matching Spec.
 	Scenario string
@@ -84,6 +95,7 @@ type Server struct {
 	cfg       Config
 	ln        net.Listener
 	shards    []*shard
+	pub       *replica.Publisher // non-nil on durable (leader-capable) servers
 	hist      *stats.Histogram
 	batchMax  atomic.Int64
 	admitWait atomic.Int64 // nanoseconds
@@ -147,6 +159,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.batchMax.Store(int64(cfg.BatchMax))
 	s.admitWait.Store(int64(cfg.AdmitWait))
+	if cfg.Store != nil {
+		s.pub = replica.NewPublisher(cfg.Store.LogPath(), cfg.Store.Log())
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		s.shards = append(s.shards, &shard{
 			id:   i,
@@ -286,7 +301,19 @@ func (s *Server) setAdmitWait(us int) error {
 
 // statsSnapshot builds the TStats reply.
 func (s *Server) statsSnapshot() wire.ServerStats {
+	var repl *wire.ReplStats
+	if f := s.cfg.Follower; f != nil {
+		rs := f.Stats()
+		repl = &rs
+	} else if s.pub != nil {
+		repl = &wire.ReplStats{
+			Role:        "leader",
+			DurableSeq:  s.cfg.Store.DurableSeq(),
+			Subscribers: s.pub.Subscribers(),
+		}
+	}
 	return wire.ServerStats{
+		Repl:        repl,
 		System:      s.cfg.System.Name(),
 		Scenario:    s.cfg.Scenario,
 		Scale:       s.cfg.Scale,
@@ -363,6 +390,12 @@ func (sh *shard) run(s *Server) {
 // exec runs one batch as a single transaction and replies to each task.
 func (sh *shard) exec(s *Server, opsN int) {
 	s.execMu.RLock()
+	if f := s.cfg.Follower; f != nil {
+		// Replica batches run under the follower's snapshot lock: replay
+		// applies whole records under the write lock, so the batch
+		// observes a record-boundary prefix at the published watermark.
+		f.RLock()
+	}
 	inserts := 0
 	kind := tm.KindReadOnly
 	for _, t := range sh.batch {
@@ -408,6 +441,9 @@ func (sh *shard) exec(s *Server, opsN int) {
 		}
 	})
 	sh.sess.Commit()
+	if f := s.cfg.Follower; f != nil {
+		f.RUnlock()
+	}
 	s.execMu.RUnlock()
 
 	s.batches.Add(1)

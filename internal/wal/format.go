@@ -61,28 +61,44 @@ func appendRecord(buf []byte, seq uint64, entries []footprint.Entry) []byte {
 	return append(buf, tr[:]...)
 }
 
-// parseRecord decodes the record at the head of b. ok is false when the
-// bytes do not frame a valid record (short buffer, bad magic, absurd
-// count or CRC mismatch) — the torn-tail signal. entries aliases b.
-func parseRecord(b []byte) (seq uint64, entries []footprint.Entry, size int, ok bool) {
+// recStatus classifies a prefix-parse attempt: complete record, not
+// enough bytes yet, or bytes that can never frame a record.
+type recStatus uint8
+
+const (
+	recOK recStatus = iota
+	// recShort: the buffer holds a so-far-valid but incomplete record; a
+	// live tail reader should wait for more bytes, a replay treats it as
+	// the torn tail.
+	recShort
+	// recBad: the bytes are damaged (bad magic, absurd count, CRC
+	// mismatch on a complete record) — corruption, not a short read.
+	recBad
+)
+
+// parseRecordPrefix decodes the record at the head of b, distinguishing
+// "need more bytes" from "corrupt" so a tailer following a live file can
+// park on a partial flush without mistaking it for damage. entries is
+// freshly allocated (no aliasing of b).
+func parseRecordPrefix(b []byte) (seq uint64, entries []footprint.Entry, size int, st recStatus) {
 	if len(b) < recordMinSize {
-		return 0, nil, 0, false
+		return 0, nil, 0, recShort
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != recordMagic {
-		return 0, nil, 0, false
+		return 0, nil, 0, recBad
 	}
 	seq = binary.LittleEndian.Uint64(b[4:])
 	count := binary.LittleEndian.Uint32(b[12:])
 	if count > maxPairs {
-		return 0, nil, 0, false
+		return 0, nil, 0, recBad
 	}
 	size = recordSize(int(count))
 	if len(b) < size {
-		return 0, nil, 0, false
+		return 0, nil, 0, recShort
 	}
 	want := binary.LittleEndian.Uint32(b[size-trailerBytes:])
 	if crc32.Checksum(b[:size-trailerBytes], castagnoli) != want {
-		return 0, nil, 0, false
+		return 0, nil, 0, recBad
 	}
 	entries = make([]footprint.Entry, count)
 	for i := range entries {
@@ -90,5 +106,13 @@ func parseRecord(b []byte) (seq uint64, entries []footprint.Entry, size int, ok 
 		entries[i].Addr = memsim.Addr(binary.LittleEndian.Uint64(b[off:]))
 		entries[i].Val = binary.LittleEndian.Uint64(b[off+8:])
 	}
-	return seq, entries, size, true
+	return seq, entries, size, recOK
+}
+
+// parseRecord decodes the record at the head of b. ok is false when the
+// bytes do not frame a valid record (short buffer, bad magic, absurd
+// count or CRC mismatch) — the torn-tail signal.
+func parseRecord(b []byte) (seq uint64, entries []footprint.Entry, size int, ok bool) {
+	seq, entries, size, st := parseRecordPrefix(b)
+	return seq, entries, size, st == recOK
 }

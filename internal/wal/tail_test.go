@@ -1,0 +1,164 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sihtm/internal/footprint"
+	"sihtm/internal/memsim"
+)
+
+func tailerLog(t *testing.T) (*Log, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, err := Create(path, Config{NoDaemon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l, path
+}
+
+func entriesFor(seq uint64) []footprint.Entry {
+	return []footprint.Entry{
+		{Addr: memsim.Addr(seq % 128), Val: seq * 3},
+		{Addr: memsim.Addr(seq%128 + 128), Val: seq},
+	}
+}
+
+// TestTailerFollowsDurableFrontier appends in stages and checks the
+// tailer surfaces exactly the records at or below each durable limit,
+// in order, without rereading.
+func TestTailerFollowsDurableFrontier(t *testing.T) {
+	l, path := tailerLog(t)
+	tl, err := OpenTailer(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	// Nothing written yet.
+	recs, err := tl.Next(100, nil)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("empty log: (%d records, %v)", len(recs), err)
+	}
+
+	var want uint64 = 1
+	for stage := 0; stage < 5; stage++ {
+		for i := 0; i < 7; i++ {
+			l.Append(entriesFor(l.LastSeq() + 1))
+		}
+		if err := l.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		limit := l.DurableSeq()
+		recs, err = tl.Next(limit, recs[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != 7 {
+			t.Fatalf("stage %d: %d records, want 7", stage, len(recs))
+		}
+		for _, r := range recs {
+			if r.Seq != want {
+				t.Fatalf("stage %d: seq %d, want %d", stage, r.Seq, want)
+			}
+			exp := entriesFor(r.Seq)
+			if len(r.Entries) != len(exp) || r.Entries[0] != exp[0] || r.Entries[1] != exp[1] {
+				t.Fatalf("seq %d: entries %+v, want %+v", r.Seq, r.Entries, exp)
+			}
+			want++
+		}
+	}
+}
+
+// TestTailerHoldsBackPastLimit: records beyond the limit stay buffered
+// until the limit advances — the "only durable records ship" rule.
+func TestTailerHoldsBackPastLimit(t *testing.T) {
+	l, path := tailerLog(t)
+	for i := 0; i < 10; i++ {
+		l.Append(entriesFor(uint64(i + 1)))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := OpenTailer(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+
+	recs, err := tl.Next(4, nil)
+	if err != nil || len(recs) != 4 {
+		t.Fatalf("limit 4: (%d records, %v)", len(recs), err)
+	}
+	recs, err = tl.Next(4, recs[:0])
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("limit 4 again: (%d records, %v)", len(recs), err)
+	}
+	recs, err = tl.Next(10, recs[:0])
+	if err != nil || len(recs) != 6 || recs[0].Seq != 5 || recs[5].Seq != 10 {
+		t.Fatalf("limit 10: (%d records, %v)", len(recs), err)
+	}
+}
+
+// TestTailerResumeFloor: a tailer opened at fromSeq skips the prefix a
+// follower already replayed — the reconnect path.
+func TestTailerResumeFloor(t *testing.T) {
+	l, path := tailerLog(t)
+	for i := 0; i < 12; i++ {
+		l.Append(entriesFor(uint64(i + 1)))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := OpenTailer(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	recs, err := tl.Next(l.DurableSeq(), nil)
+	if err != nil || len(recs) != 5 {
+		t.Fatalf("resume from 8: (%d records, %v)", len(recs), err)
+	}
+	if recs[0].Seq != 8 || recs[4].Seq != 12 {
+		t.Fatalf("resume from 8: seqs %d..%d", recs[0].Seq, recs[4].Seq)
+	}
+}
+
+// TestTailerCorruption: damage in a complete record is reported, not
+// skipped or surfaced.
+func TestTailerCorruption(t *testing.T) {
+	l, path := tailerLog(t)
+	for i := 0; i < 6; i++ {
+		l.Append(entriesFor(uint64(i + 1)))
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img[len(img)/2] ^= 0x40
+	mutPath := filepath.Join(t.TempDir(), "mut.log")
+	if err := os.WriteFile(mutPath, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tl, err := OpenTailer(mutPath, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	recs, err := tl.Next(6, nil)
+	if err == nil {
+		t.Fatalf("corruption not detected (%d records)", len(recs))
+	}
+	for _, r := range recs {
+		exp := entriesFor(r.Seq)
+		if r.Entries[0] != exp[0] || r.Entries[1] != exp[1] {
+			t.Fatalf("corrupt record surfaced: seq %d %+v", r.Seq, r.Entries)
+		}
+	}
+}

@@ -227,6 +227,9 @@ type ServerStats struct {
 	AdmitWaitUs int `json:"admit_wait_us,omitempty"`
 	// Durable reports whether a WAL/checkpoint store backs the server.
 	Durable bool `json:"durable,omitempty"`
+	// Repl describes the server's place in a replicated cluster (nil on
+	// a standalone node).
+	Repl *ReplStats `json:"repl,omitempty"`
 
 	// Stats is the server-side collector snapshot: commits count
 	// batches (one transaction per batch), aborts follow the paper's

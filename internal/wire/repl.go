@@ -1,0 +1,167 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Replication payload codecs. A leader ships committed WAL records to
+// its followers as TReplBatch frames; the payload re-frames the log's
+// (addr, val) redo pairs without the per-record magic/CRC — the wire
+// frame's CRC already covers the whole batch — and prepends the
+// leader's durable watermark so a follower can publish how far behind
+// it is even when a batch carries no records.
+//
+// TReplBatch payload layout (all fields little-endian):
+//
+//	offset  size  field
+//	0       8     watermark — the leader's highest fsynced sequence
+//	8       4     count     — number of records
+//	12      ...   records, each:
+//	                seq    u64 — commit sequence number
+//	                npairs u32 — redo pair count
+//	                pairs  16·n — addr u64, val u64
+//
+// The encoding is canonical (fixed-width fields, exact counts, no
+// trailing bytes), so any payload ParseReplBatch accepts re-encodes
+// byte-identically — the property FuzzParseReplFrame pins.
+
+// MaxReplRecords bounds the records of one TReplBatch.
+const MaxReplRecords = 1 << 12
+
+const (
+	replBatchHeader = 12 // watermark u64 + count u32
+	replRecHeader   = 12 // seq u64 + npairs u32
+	replPairBytes   = 16
+)
+
+// ReplPair is one redo word: the (address, value) unit of a WAL record.
+type ReplPair struct {
+	Addr uint64
+	Val  uint64
+}
+
+// ReplRecord is one committed transaction's redo image in flight:
+// first-write order, last-write-wins values, exactly as the WAL framed
+// it.
+type ReplRecord struct {
+	Seq   uint64
+	Pairs []ReplPair
+}
+
+// ReplBatch is the TReplBatch payload: the leader's durable watermark
+// plus a run of consecutive records (Records[i].Seq strictly
+// increasing by 1 when non-empty; the parser does not enforce
+// continuity — the follower does, against its own watermark).
+type ReplBatch struct {
+	Watermark uint64
+	Records   []ReplRecord
+}
+
+// EncodedSize returns the payload bytes AppendReplBatch would produce.
+func (b ReplBatch) EncodedSize() int {
+	n := replBatchHeader
+	for _, r := range b.Records {
+		n += replRecHeader + len(r.Pairs)*replPairBytes
+	}
+	return n
+}
+
+// AppendReplSub encodes a TReplSub payload: the first sequence number
+// the follower wants (its watermark + 1).
+func AppendReplSub(p []byte, from uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], from)
+	return append(p, b[:]...)
+}
+
+// ParseReplSub decodes a TReplSub payload.
+func ParseReplSub(p []byte) (uint64, error) {
+	if len(p) != 8 {
+		return 0, fmt.Errorf("%w: repl subscribe payload of %d bytes", ErrBadFrame, len(p))
+	}
+	return binary.LittleEndian.Uint64(p), nil
+}
+
+// AppendReplBatch encodes a TReplBatch payload onto p.
+func AppendReplBatch(p []byte, b ReplBatch) []byte {
+	var hdr [replBatchHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:], b.Watermark)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b.Records)))
+	p = append(p, hdr[:]...)
+	for _, r := range b.Records {
+		var rh [replRecHeader]byte
+		binary.LittleEndian.PutUint64(rh[0:], r.Seq)
+		binary.LittleEndian.PutUint32(rh[8:], uint32(len(r.Pairs)))
+		p = append(p, rh[:]...)
+		for _, pr := range r.Pairs {
+			var pb [replPairBytes]byte
+			binary.LittleEndian.PutUint64(pb[0:], pr.Addr)
+			binary.LittleEndian.PutUint64(pb[8:], pr.Val)
+			p = append(p, pb[:]...)
+		}
+	}
+	return p
+}
+
+// ParseReplBatch decodes a TReplBatch payload. The parse is strict —
+// record and pair counts must account for every byte, with nothing
+// trailing — so a truncated or padded payload is rejected rather than
+// silently misapplied to a replica's heap.
+func ParseReplBatch(p []byte) (ReplBatch, error) {
+	var b ReplBatch
+	if len(p) < replBatchHeader {
+		return b, fmt.Errorf("%w: repl batch payload of %d bytes", ErrBadFrame, len(p))
+	}
+	b.Watermark = binary.LittleEndian.Uint64(p[0:])
+	count := binary.LittleEndian.Uint32(p[8:])
+	if count > MaxReplRecords {
+		return b, fmt.Errorf("%w: %d repl records exceeds %d", ErrBadFrame, count, MaxReplRecords)
+	}
+	off := replBatchHeader
+	if count > 0 {
+		b.Records = make([]ReplRecord, 0, count)
+	}
+	for i := uint32(0); i < count; i++ {
+		if len(p)-off < replRecHeader {
+			return b, fmt.Errorf("%w: truncated repl record header", ErrBadFrame)
+		}
+		seq := binary.LittleEndian.Uint64(p[off:])
+		npairs := binary.LittleEndian.Uint32(p[off+8:])
+		off += replRecHeader
+		if int(npairs) > (len(p)-off)/replPairBytes {
+			return b, fmt.Errorf("%w: repl record claims %d pairs, %d bytes remain", ErrBadFrame, npairs, len(p)-off)
+		}
+		pairs := make([]ReplPair, npairs)
+		for j := range pairs {
+			pairs[j].Addr = binary.LittleEndian.Uint64(p[off:])
+			pairs[j].Val = binary.LittleEndian.Uint64(p[off+8:])
+			off += replPairBytes
+		}
+		b.Records = append(b.Records, ReplRecord{Seq: seq, Pairs: pairs})
+	}
+	if off != len(p) {
+		return b, fmt.Errorf("%w: %d trailing bytes after repl batch", ErrBadFrame, len(p)-off)
+	}
+	return b, nil
+}
+
+// ReplStats is the replication slice of ServerStats (and the
+// TReplPromote reply payload): the node's role and how far its log or
+// replay has progressed.
+type ReplStats struct {
+	// Role is "leader", "follower" or "promoted".
+	Role string `json:"role"`
+	// DurableSeq is a leader's highest fsynced sequence number.
+	DurableSeq uint64 `json:"durable_seq,omitempty"`
+	// Watermark is a follower's highest applied sequence number: reads
+	// served by the node observe exactly commits 1..Watermark.
+	Watermark uint64 `json:"watermark,omitempty"`
+	// LeaderSeq is the durable watermark the leader last advertised to
+	// this follower (Watermark lag = LeaderSeq - Watermark).
+	LeaderSeq uint64 `json:"leader_seq,omitempty"`
+	// Subscribers counts a leader's live replication streams.
+	Subscribers int `json:"subscribers,omitempty"`
+	// Reconnects counts a follower's stream re-establishments.
+	Reconnects uint64 `json:"reconnects,omitempty"`
+}

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"sihtm/internal/rng"
+)
+
+// buildReplBatch frames a deterministic batch for round-trip tests.
+func buildReplBatch(r *rng.Rand, firstSeq uint64, records int) ReplBatch {
+	b := ReplBatch{Watermark: firstSeq + uint64(records) - 1}
+	for i := 0; i < records; i++ {
+		rec := ReplRecord{Seq: firstSeq + uint64(i)}
+		for j := 0; j < r.Intn(8); j++ {
+			rec.Pairs = append(rec.Pairs, ReplPair{Addr: r.Uint64() % 4096, Val: r.Uint64()})
+		}
+		b.Records = append(b.Records, rec)
+	}
+	return b
+}
+
+func TestReplSubRoundTrip(t *testing.T) {
+	from, err := ParseReplSub(AppendReplSub(nil, 1234))
+	if err != nil || from != 1234 {
+		t.Fatalf("repl sub round trip: (%d, %v)", from, err)
+	}
+	if _, err := ParseReplSub([]byte{1, 2, 3}); err == nil {
+		t.Error("short repl sub payload accepted")
+	}
+}
+
+func TestReplBatchRoundTrip(t *testing.T) {
+	r := rng.New(77)
+	for _, records := range []int{0, 1, 5, 40} {
+		b := buildReplBatch(r, 10, records)
+		p := AppendReplBatch(nil, b)
+		if len(p) != b.EncodedSize() {
+			t.Fatalf("%d records: encoded %d bytes, EncodedSize says %d", records, len(p), b.EncodedSize())
+		}
+		got, err := ParseReplBatch(p)
+		if err != nil {
+			t.Fatalf("%d records: %v", records, err)
+		}
+		if got.Watermark != b.Watermark || len(got.Records) != len(b.Records) {
+			t.Fatalf("%d records: parsed %+v", records, got)
+		}
+		for i, rec := range b.Records {
+			g := got.Records[i]
+			if g.Seq != rec.Seq || len(g.Pairs) != len(rec.Pairs) {
+				t.Fatalf("record %d: %+v != %+v", i, g, rec)
+			}
+			for j := range rec.Pairs {
+				if g.Pairs[j] != rec.Pairs[j] {
+					t.Fatalf("record %d pair %d: %+v != %+v", i, j, g.Pairs[j], rec.Pairs[j])
+				}
+			}
+		}
+	}
+}
+
+func TestReplBatchValidation(t *testing.T) {
+	r := rng.New(9)
+	p := AppendReplBatch(nil, buildReplBatch(r, 1, 6))
+
+	// Truncation anywhere must be rejected (strict, no-trailing parse).
+	for cut := 0; cut < len(p); cut++ {
+		if _, err := ParseReplBatch(p[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	// So must trailing garbage.
+	if _, err := ParseReplBatch(append(append([]byte{}, p...), 0xAA)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+	// And an absurd record count.
+	bad := append([]byte{}, p...)
+	bad[8] = 0xFF
+	bad[9] = 0xFF
+	bad[10] = 0xFF
+	bad[11] = 0xFF
+	if _, err := ParseReplBatch(bad); err == nil {
+		t.Error("absurd record count accepted")
+	}
+}
+
+// FuzzParseReplFrame mirrors FuzzParseFrame for the replication stream:
+// the batch parser must never panic, and any payload it accepts must
+// re-encode byte-identically (the encoding is canonical). When the
+// input happens to frame as a whole TReplBatch wire frame, the payload
+// must survive the same round trip.
+func FuzzParseReplFrame(f *testing.F) {
+	r := rng.New(3)
+	b := buildReplBatch(r, 1, 3)
+	f.Add(AppendReplBatch(nil, b))
+	f.Add(AppendReplBatch(nil, ReplBatch{Watermark: 9}))
+	f.Add(AppendFrame(nil, 1, TReplBatch, AppendReplBatch(nil, b)))
+	f.Add(AppendReplSub(nil, 42))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if b, err := ParseReplBatch(data); err == nil {
+			if re := AppendReplBatch(nil, b); !bytes.Equal(re, data) {
+				t.Fatalf("accepted repl batch does not re-encode identically")
+			}
+		}
+		id, typ, payload, _, err := ParseFrame(data)
+		if err != nil || typ != TReplBatch {
+			return
+		}
+		b, err := ParseReplBatch(payload)
+		if err != nil {
+			return
+		}
+		re := AppendFrame(nil, id, typ, AppendReplBatch(nil, b))
+		if !bytes.Equal(re, data[:len(re)]) {
+			t.Fatalf("accepted repl frame does not re-encode identically")
+		}
+	})
+}

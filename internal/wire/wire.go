@@ -79,6 +79,16 @@ const (
 	// TCheck runs the backend's structural invariant check quiescently;
 	// empty payload.
 	TCheck Type = 0x08
+	// TReplSub subscribes the connection to the leader's replication
+	// stream; payload: the first sequence number wanted (AppendReplSub).
+	// The subscription hijacks the connection: it must be the only
+	// request ever sent on it, and the server answers with an unbounded
+	// sequence of TReplBatch frames echoing the subscribe id.
+	TReplSub Type = 0x09
+	// TReplPromote asks a follower to stop replicating and become a
+	// serving leader (catching up from the dead leader's log first);
+	// empty payload. Reply payload: JSON ReplStats at promotion.
+	TReplPromote Type = 0x0a
 
 	// TReply answers any data-plane request; payload: a result list
 	// (AppendResults), one entry per op. Control-plane replies reuse
@@ -87,6 +97,9 @@ const (
 	TReply Type = 0x81
 	// TErr reports a failed request; payload: UTF-8 message.
 	TErr Type = 0x82
+	// TReplBatch is one replication-stream message; payload: a watermark
+	// plus zero or more redo records (AppendReplBatch).
+	TReplBatch Type = 0x83
 )
 
 // String implements fmt.Stringer.
@@ -108,10 +121,16 @@ func (t Type) String() string {
 		return "STATS"
 	case TCheck:
 		return "CHECK"
+	case TReplSub:
+		return "REPLSUB"
+	case TReplPromote:
+		return "REPLPROMOTE"
 	case TReply:
 		return "REPLY"
 	case TErr:
 		return "ERR"
+	case TReplBatch:
+		return "REPLBATCH"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", uint8(t))
 	}

@@ -115,6 +115,22 @@ func (b *RemoteBackend) Stats() (wire.ServerStats, error) {
 	return st, err
 }
 
+// Promote asks a follower server to promote itself (catch up from the
+// dead leader's log and start admitting writes), returning the
+// follower's post-promotion replication stats.
+func (b *RemoteBackend) Promote() (wire.ReplStats, error) {
+	var rs wire.ReplStats
+	t, payload, err := b.conns[0].roundTrip(wire.TReplPromote, nil)
+	if err != nil {
+		return rs, err
+	}
+	if t == wire.TErr {
+		return rs, fmt.Errorf("engine: remote promote: %s", payload)
+	}
+	err = wire.DecodeJSON(payload, &rs)
+	return rs, err
+}
+
 // Ctrl reconfigures the live server (the batch-size knob of the
 // admission stage).
 func (b *RemoteBackend) Ctrl(c wire.Ctrl) error {
