@@ -100,6 +100,7 @@ serve flags:
   --shards=N                executor goroutines (default 4)
   --batch=N                 admission bound: max ops per transaction (default 32)
   --admit-wait=DUR          admission grace: wait for fuller batches (default 0)
+  --p99-target=DUR          adaptive admission control: steer batch/grace toward this p99 (default off)
   --durable-dir=DIR         serve durably (WAL + checkpoints + meta.json in DIR)
   --window=DUR              durable group-commit fsync window (default 1ms)
   --checkpoint-every=DUR    fuzzy checkpoint interval (default 1s; 0 disables)
@@ -111,8 +112,10 @@ promote flags:
 
 loadgen flags:
   --addr=HOST:PORT          server address (required)
-  --id=a,b                  net entries (default net-ycsb-a,net-batch-window,net-durable-ycsb-a)
-  --scale=ci|quick|paper    client scale: thread ladder caps + run windows (default ci)
+  --id=a,b                  net entries (default: all, incl. net-connscale)
+  --scale=ci|quick|paper    client scale: conn/thread ladders + run windows (default ci)
+  --conns=N                 open-loop mode: drive N connections at --arrival instead of --id
+  --arrival=poisson:RATE    open-loop arrival process, total ops/sec (or uniform:RATE)
   --out=FILE                JSON results (default BENCH_repro.json)
   --md=FILE                 markdown tables ('-' = stdout, '' = none; default BENCH_repro.md)
 

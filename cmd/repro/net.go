@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"sihtm/internal/experiments"
+	"sihtm/internal/loadgen"
 	"sihtm/internal/results"
 	"sihtm/internal/workload/engine"
 )
@@ -30,6 +31,7 @@ func cmdServe(args []string) error {
 		shards    = fs.Int("shards", 4, "executor goroutines (transaction threads)")
 		batch     = fs.Int("batch", 32, "admission bound: max ops per transaction")
 		admitWait = fs.Duration("admit-wait", 0, "admission grace: wait this long for a fuller batch")
+		p99Target = fs.Duration("p99-target", 0, "adaptive admission control: steer batch/grace toward this p99 service latency")
 		dir       = fs.String("durable-dir", "", "serve durably: WAL + checkpoints + meta.json in DIR")
 		window    = fs.Duration("window", time.Millisecond, "durable group-commit fsync window")
 		ckptEvery = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
@@ -40,6 +42,8 @@ func cmdServe(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The connection-scale ladder may aim thousands of connections here.
+	loadgen.RaiseFDLimit()
 	ns, err := experiments.StartNetServer(experiments.ServeConfig{
 		Addr:          *addr,
 		Scenario:      *scenario,
@@ -48,6 +52,7 @@ func cmdServe(args []string) error {
 		Shards:        *shards,
 		BatchMax:      *batch,
 		AdmitWait:     *admitWait,
+		P99Target:     *p99Target,
 		DurableDir:    *dir,
 		Window:        *window,
 		CkptEvery:     *ckptEvery,
@@ -64,8 +69,12 @@ func cmdServe(args []string) error {
 	if *follow != "" {
 		durability = fmt.Sprintf("follower of %s (read-only until promoted)", *follow)
 	}
-	fmt.Fprintf(os.Stderr, "serve: %s on %s, %d shards, batch<=%d, %s — listening on %s\n",
-		*scenario, *system, *shards, *batch, durability, ns.Addr)
+	admission := fmt.Sprintf("batch<=%d", *batch)
+	if *p99Target > 0 {
+		admission = fmt.Sprintf("adaptive admission (p99 target %s)", *p99Target)
+	}
+	fmt.Fprintf(os.Stderr, "serve: %s on %s, %d shards, %s, %s — listening on %s\n",
+		*scenario, *system, *shards, admission, durability, ns.Addr)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -147,6 +156,8 @@ func cmdLoadgen(args []string) error {
 		addr      = fs.String("addr", "", "server address (required; see 'repro serve')")
 		ids       = fs.String("id", strings.Join(experiments.NetEntryIDs(), ","), "net entries to measure")
 		scaleName = fs.String("scale", "ci", "client scale preset (ladder caps, run windows)")
+		conns     = fs.Int("conns", 0, "open-loop mode: drive this many connections at --arrival")
+		arrival   = fs.String("arrival", "poisson:20000", "open-loop arrival process: poisson:RATE or uniform:RATE (total ops/sec)")
 		out       = fs.String("out", "BENCH_repro.json", "JSON output path")
 		md        = fs.String("md", "BENCH_repro.md", "markdown output path ('-' = stdout, '' = none)")
 		quiet     = fs.Bool("quiet", false, "suppress per-point progress")
@@ -166,8 +177,29 @@ func cmdLoadgen(args []string) error {
 		progress = os.Stderr
 	}
 	var recs []results.Record
-	runErr := experiments.RunLoadgen(*addr, strings.Split(*ids, ","), sc,
-		func(r results.Record) { recs = append(recs, r) }, progress)
+	var runErr error
+	if *conns > 0 {
+		// Open-loop single point: N connections at the given arrival
+		// rate, coordinated-omission-safe latency, server knobs left
+		// exactly as the operator set them.
+		a, err := loadgen.ParseArrival(*arrival)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.RunOpenLoop(*addr, *conns, a, sc)
+		if err != nil {
+			return err
+		}
+		recs = append(recs, r)
+		if progress != nil {
+			fmt.Fprintf(progress, "open-loop %s conns=%d %s: %.0f ops/s p50=%.0fµs p99=%.0fµs batch<=%d wait=%dµs target=%dµs\n",
+				r.System, r.Threads, a, r.Throughput, r.LatencyP50Us, r.LatencyP99Us,
+				r.CtrlBatchMax, r.CtrlAdmitWaitUs, r.CtrlP99TargetUs)
+		}
+	} else {
+		runErr = experiments.RunLoadgen(*addr, strings.Split(*ids, ","), sc,
+			func(r results.Record) { recs = append(recs, r) }, progress)
+	}
 
 	if len(recs) > 0 {
 		rep := &results.Report{

@@ -90,6 +90,12 @@ type NetPoint struct {
 	Durable bool
 	// Window is the durable group-commit fsync window.
 	Window time.Duration
+	// P99Target (self-host only) starts the adaptive admission
+	// controller against this server-side p99 service-latency target.
+	P99Target time.Duration
+	// CtrlInterval (self-host only) overrides the controller's
+	// adjustment interval.
+	CtrlInterval time.Duration
 }
 
 // NetExtras carries the measurements that exist only over the network.
@@ -283,11 +289,13 @@ func startNetHost(y ycsbSpec, p NetPoint, sc Scale) (*netHost, error) {
 	}
 	h := &netHost{backend: backend, keys: d.Spec().Keys, served: make(chan error, 1)}
 	cfg := server.Config{
-		Backend:  backend,
-		System:   sys,
-		Shards:   shards,
-		BatchMax: netBatchDefault,
-		Scenario: y.id,
+		Backend:      backend,
+		System:       sys,
+		Shards:       shards,
+		BatchMax:     netBatchDefault,
+		Scenario:     y.id,
+		P99Target:    p.P99Target,
+		CtrlInterval: p.CtrlInterval,
 	}
 	if p.Durable {
 		h.cell, err = openDurableCell(heap, m, p.Window)
@@ -476,12 +484,14 @@ func netDurableEntry() Entry {
 // netEntries builds the networked scenario entries in presentation
 // order.
 func netEntries() []Entry {
-	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry()}
+	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry()}
 }
 
 // NetEntryIDs lists the networked registry entries `repro loadgen` can
 // drive against an external server.
-func NetEntryIDs() []string { return []string{"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a"} }
+func NetEntryIDs() []string {
+	return []string{"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a", "net-connscale"}
+}
 
 // ServeConfig assembles `repro serve`: a long-running wire server
 // hosting one scenario build.
@@ -504,6 +514,10 @@ type ServeConfig struct {
 	BatchMax int
 	// AdmitWait is the initial admission grace period.
 	AdmitWait time.Duration
+	// P99Target, when positive, starts the adaptive admission
+	// controller: the server steers BatchMax and the admission grace
+	// online against this p99 service-latency target.
+	P99Target time.Duration
 	// DurableDir, when set, makes the server durable: wal.log +
 	// heap.ckpt + meta.json live there, mirroring `repro durable` run
 	// directories so `repro recover` replays them unchanged.
@@ -575,6 +589,7 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 		AdmitWait: cfg.AdmitWait,
 		Scenario:  cfg.Scenario,
 		Scale:     cfg.ScaleName,
+		P99Target: cfg.P99Target,
 	}
 	if cfg.FollowAddr != "" {
 		if cfg.DurableDir != "" {
@@ -796,6 +811,22 @@ func RunLoadgen(addr string, ids []string, sc Scale, hook func(results.Record), 
 			}
 		case "net-batch-window":
 			if err := runLoadgenBatchSweep(addr, e, st, sc, buildSc, hook, note); err != nil {
+				return err
+			}
+		case "net-connscale":
+			// The ladder reconfigures the server's admission knobs per
+			// rung and leaves them at moderate defaults; the keyspace
+			// comes from the server's own build.
+			y, yerr := ycsbSpecByID(st.Scenario)
+			if yerr != nil {
+				return yerr
+			}
+			keys := scaledKeys(y.baseKeys, buildSc, 128)
+			// The window floors apply against an external server too:
+			// the uncontrolled rungs hold replies for a 10ms admission
+			// grace, so a tens-of-milliseconds window could close
+			// before the first batch answers.
+			if err := runConnScaleLadder(e, addr, st.System, keys, connScaleWindows(sc), hook, note); err != nil {
 				return err
 			}
 		default:

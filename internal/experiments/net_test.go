@@ -47,8 +47,8 @@ func TestServeLoadgenRecoverPipeline(t *testing.T) {
 	byID := map[string]int{}
 	for _, r := range recs {
 		byID[r.Experiment]++
-		if r.System != "si-htm" {
-			t.Errorf("record %s labeled system %q, want the server's si-htm", r.Experiment, r.System)
+		if r.System != "si-htm" && r.System != "si-htm+ctrl" {
+			t.Errorf("record %s labeled system %q, want the server's si-htm (or +ctrl variant)", r.Experiment, r.System)
 		}
 		if r.Commits == 0 {
 			t.Errorf("record %s/%s/%d committed nothing", r.Experiment, r.Param, r.Threads)

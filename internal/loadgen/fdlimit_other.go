@@ -1,0 +1,9 @@
+//go:build !unix
+
+package loadgen
+
+// raiseFDLimit is a no-op where rlimits do not exist.
+func raiseFDLimit() {}
+
+// RaiseFDLimit is the exported form; see fdlimit_unix.go.
+func RaiseFDLimit() {}

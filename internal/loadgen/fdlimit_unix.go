@@ -1,0 +1,24 @@
+//go:build unix
+
+package loadgen
+
+import "syscall"
+
+// raiseFDLimit lifts the soft file-descriptor limit to the hard limit:
+// ten thousand connections need ten thousand descriptors, and default
+// soft limits are often 1024. Best effort — a failure just means big
+// ladders hit EMFILE, which surfaces as a dial error.
+func raiseFDLimit() {
+	var rl syscall.Rlimit
+	if err := syscall.Getrlimit(syscall.RLIMIT_NOFILE, &rl); err != nil {
+		return
+	}
+	if rl.Cur < rl.Max {
+		rl.Cur = rl.Max
+		syscall.Setrlimit(syscall.RLIMIT_NOFILE, &rl)
+	}
+}
+
+// RaiseFDLimit is the exported form, for server processes that accept
+// the many-connection side of the same ladder.
+func RaiseFDLimit() { raiseFDLimit() }

@@ -1,0 +1,182 @@
+package loadgen_test
+
+import (
+	"testing"
+	"time"
+
+	"sihtm/internal/htm"
+	"sihtm/internal/loadgen"
+	"sihtm/internal/memsim"
+	"sihtm/internal/server"
+	"sihtm/internal/sihtm"
+	"sihtm/internal/topology"
+	"sihtm/internal/workload/engine"
+)
+
+// startServer builds a populated hash-map backend behind a loopback
+// wire server for the generator to aim at.
+func startServer(t *testing.T, keys, shards int) (*server.Server, string) {
+	t.Helper()
+	spec := engine.Spec{
+		Name: "loadgentest",
+		Keys: keys,
+		Dist: engine.Dist{Kind: engine.DistUniform},
+		Mix:  []engine.MixEntry{{Op: engine.OpRead, Percent: 100}},
+		Seed: 7,
+	}
+	buckets := keys / 4
+	if buckets < 1 {
+		buckets = 1
+	}
+	heap := memsim.NewHeapLines(engine.HashmapHeapLines(spec, buckets))
+	m := htm.NewMachine(heap, htm.Config{Topology: topology.Paper()})
+	backend := engine.NewHashmapBackend(heap, buckets)
+	engine.Populate(backend, spec)
+	srv, err := server.New(server.Config{
+		Backend:  backend,
+		System:   sihtm.NewSystem(m, shards, sihtm.Config{}),
+		Shards:   shards,
+		BatchMax: 16,
+		Scenario: "loadgentest",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve() }()
+	t.Cleanup(func() {
+		srv.Drain()
+		if err := <-served; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, addr.String()
+}
+
+func TestParseArrival(t *testing.T) {
+	a, err := loadgen.ParseArrival("poisson:20000")
+	if err != nil || a.Process != "poisson" || a.Rate != 20000 {
+		t.Fatalf("poisson:20000 -> %+v, %v", a, err)
+	}
+	if a.String() != "poisson:20000" {
+		t.Fatalf("round trip: %q", a.String())
+	}
+	if _, err := loadgen.ParseArrival("uniform:2500.5"); err != nil {
+		t.Fatalf("uniform:2500.5 rejected: %v", err)
+	}
+	for _, bad := range []string{"", "poisson", "poisson:", "poisson:-1", "poisson:0", "gauss:100", "poisson:xyz"} {
+		if _, err := loadgen.ParseArrival(bad); err == nil {
+			t.Fatalf("ParseArrival(%q) accepted", bad)
+		}
+	}
+}
+
+// TestOpenLoopRun drives a live server with a modest open-loop ladder
+// and checks the accounting: requests flow, replies match the offered
+// mix, latency lands in the window histogram, and the server's
+// population is conserved (the RMW/GET mix never inserts).
+func TestOpenLoopRun(t *testing.T) {
+	keys := 256
+	_, addr := startServer(t, keys, 2)
+
+	windows := 0
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:    addr,
+		Conns:   32,
+		Arrival: loadgen.Arrival{Process: "poisson", Rate: 4000},
+		Keys:    keys,
+		Warmup:  50 * time.Millisecond,
+		Measure: 200 * time.Millisecond,
+		Seed:    1,
+		AtWindow: func(start bool) {
+			windows++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows != 2 {
+		t.Fatalf("AtWindow called %d times, want 2", windows)
+	}
+	if res.Conns != 32 || res.Offered != 4000 {
+		t.Fatalf("echoed config wrong: %+v", res)
+	}
+	if res.Sent == 0 || res.Replies == 0 {
+		t.Fatalf("no traffic in window: sent=%d replies=%d", res.Sent, res.Replies)
+	}
+	if res.Errs != 0 {
+		t.Fatalf("%d error replies", res.Errs)
+	}
+	// Open loop at an easy rate: roughly the offered count should have
+	// been sent (4000/s over 200ms ≈ 800; allow wide slack for CI).
+	if res.Sent < 200 {
+		t.Fatalf("only %d sends in a 200ms window at 4000/s offered", res.Sent)
+	}
+	if got := res.Hist.Count(); got != res.Replies {
+		t.Fatalf("histogram holds %d observations for %d replies", got, res.Replies)
+	}
+	if p99 := res.Hist.Quantile(0.99); p99 <= 0 {
+		t.Fatalf("p99 = %v", p99)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("zero throughput")
+	}
+
+	// The GET/RMW mix over populated keys must conserve population.
+	rb, err := engine.DialRemote(addr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rb.Close()
+	if err := rb.Check(); err != nil {
+		t.Fatalf("server invariant check after run: %v", err)
+	}
+}
+
+// TestOpenLoopUniform exercises the uniform process and a read-only
+// mix.
+func TestOpenLoopUniform(t *testing.T) {
+	keys := 64
+	_, addr := startServer(t, keys, 1)
+	res, err := loadgen.Run(loadgen.Config{
+		Addr:     addr,
+		Conns:    4,
+		Arrival:  loadgen.Arrival{Process: "uniform", Rate: 2000},
+		Keys:     keys,
+		ReadFrac: 1.0,
+		Warmup:   20 * time.Millisecond,
+		Measure:  100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replies == 0 {
+		t.Fatal("no replies")
+	}
+}
+
+// TestRunRejectsBadConfig covers the config validation.
+func TestRunRejectsBadConfig(t *testing.T) {
+	bad := []loadgen.Config{
+		{Conns: 0, Arrival: loadgen.Arrival{Rate: 1}, Keys: 1},
+		{Conns: 1, Arrival: loadgen.Arrival{Rate: 0}, Keys: 1},
+		{Conns: 1, Arrival: loadgen.Arrival{Rate: 1}, Keys: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := loadgen.Run(cfg); err == nil {
+			t.Fatalf("config %d accepted", i)
+		}
+	}
+	// A dead address must fail the dial, not hang.
+	_, err := loadgen.Run(loadgen.Config{
+		Addr: "127.0.0.1:1", Conns: 2,
+		Arrival: loadgen.Arrival{Process: "uniform", Rate: 100}, Keys: 8,
+	})
+	if err == nil {
+		t.Fatal("dial to a dead address succeeded")
+	}
+}

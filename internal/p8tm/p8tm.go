@@ -152,7 +152,7 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 	if kind == tm.KindReadOnly {
 		// Uninstrumented read-only path behind quiescence, as in SI-HTM.
 		s.syncWithGL(thread, th)
-		body(tm.ReadOnlyOps{Inner: tm.PlainOps{Th: th}})
+		body(tm.ReadOnlyPlainOps{Th: th})
 		s.state[thread].v.Store(clock.Inactive)
 		l.Commit(true)
 		return

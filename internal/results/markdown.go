@@ -160,6 +160,52 @@ func MarkdownLatency(w io.Writer, title string, recs []Record) {
 	}
 }
 
+// MarkdownController renders the admission-knob panel for cells whose
+// server ran with explicit admission settings: per cell the batch
+// bound, the grace period and — when the adaptive controller ran — the
+// p99 target it steered toward.
+func MarkdownController(w io.Writer, title string, recs []Record) {
+	labels, byParam := axisLabels(recs)
+	systems := systemsOf(recs)
+	axis := "threads"
+	if byParam {
+		axis = "param"
+	}
+	fmt.Fprintf(w, "**%s — admission knobs at window end (batch bound / grace µs / p99 target µs)**\n\n", title)
+	fmt.Fprintf(w, "| %s |", axis)
+	for _, s := range systems {
+		fmt.Fprintf(w, " %s |", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|%s\n", strings.Repeat("---|", len(systems)))
+	for _, label := range labels {
+		fmt.Fprintf(w, "| %s |", label)
+		for _, s := range systems {
+			r, ok := find(recs, s, label, byParam)
+			switch {
+			case !ok || r.CtrlBatchMax == 0:
+				fmt.Fprintf(w, " – |")
+			case r.CtrlP99TargetUs > 0:
+				fmt.Fprintf(w, " %d / %d / %d |", r.CtrlBatchMax, r.CtrlAdmitWaitUs, r.CtrlP99TargetUs)
+			default:
+				fmt.Fprintf(w, " %d / %d / off |", r.CtrlBatchMax, r.CtrlAdmitWaitUs)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// hasController reports whether any record carries admission-knob
+// fields.
+func hasController(recs []Record) bool {
+	for _, r := range recs {
+		if r.CtrlBatchMax > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // hasLatency reports whether any record carries the networked layer's
 // latency fields.
 func hasLatency(recs []Record) bool {
@@ -220,6 +266,10 @@ func MarkdownReport(w io.Writer, rep *Report, titles map[string]string) {
 		fmt.Fprintln(w)
 		if hasLatency(recs) {
 			MarkdownLatency(w, id, recs)
+			fmt.Fprintln(w)
+		}
+		if hasController(recs) {
+			MarkdownController(w, id, recs)
 			fmt.Fprintln(w)
 		}
 	}

@@ -69,9 +69,18 @@ type Record struct {
 	// Networked-cell extras, zero elsewhere: per-op service latency
 	// percentiles measured server-side (admission to reply encode) and
 	// the achieved operations per transaction of the admission batching.
+	// Open-loop cells (net-connscale) instead fill the latency fields
+	// with the client-observed, coordinated-omission-safe distribution.
 	LatencyP50Us float64 `json:"latency_p50_us,omitempty"`
 	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
 	BatchAvgOps  float64 `json:"batch_avg_ops,omitempty"`
+
+	// Admission-controller extras: the server's converged (or manually
+	// fixed) admission knobs at the end of the point's window, and the
+	// p99 target the controller steered toward (zero = controller off).
+	CtrlBatchMax    int `json:"ctrl_batch_max,omitempty"`
+	CtrlAdmitWaitUs int `json:"ctrl_admit_wait_us,omitempty"`
+	CtrlP99TargetUs int `json:"ctrl_p99_target_us,omitempty"`
 }
 
 // Key identifies a record's cell for matching between reports.

@@ -1,0 +1,72 @@
+package server_test
+
+import (
+	"testing"
+
+	"sihtm/internal/workload/engine"
+)
+
+// The hot-path allocation pins, in the mould of the PR 2 simulator pins
+// (internal/htm/alloc_test.go): testing.AllocsPerRun counts mallocs
+// process-wide, so a loopback round trip pins the client encoder, both
+// server goroutine sides (reader → shard executor → writer) and the
+// client reply path all at once. A warm-up loop first grows every
+// pooled buffer (connIO, tasks, session waiters, the line pool) to its
+// steady-state footprint; after it, a request must allocate nothing
+// anywhere in the process.
+//
+// Under -race the detector's instrumentation allocates, so the tests
+// still drive the full path (the race job's reason to run them) but
+// skip the exact-zero assertion.
+
+// TestServerRequestPathZeroAllocs pins the TXN path: frame read →
+// admission → batched execute → reply encode → socket write, plus the
+// client's AppendOpsFrame encode and waiter round trip.
+func TestServerRequestPathZeroAllocs(t *testing.T) {
+	f := startFixture(t, 256, 1, 16, 0, false)
+	rb := dial(t, f, 1)
+	s := rb.NewSession().(engine.AsyncSession)
+
+	op := func() {
+		s.Reset()
+		s.ReadModifyWriteAsync(7, 1)
+		s.ReadAsync(9)
+		s.ScanAsync(3, 4)
+		s.Commit()
+	}
+	for i := 0; i < 512; i++ {
+		op()
+	}
+	allocs := testing.AllocsPerRun(500, op)
+	if raceEnabled {
+		t.Skipf("race detector instrumentation allocates; path exercised, pin skipped (measured %.2f)", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state TXN round trip allocates %.2f times, want 0", allocs)
+	}
+}
+
+// TestRemoteRoundTripZeroAllocs pins the point-frame path (TGet/TPut
+// compact layouts through decodeData) via the synchronous plain
+// Session, the RemoteBackend conformance surface.
+func TestRemoteRoundTripZeroAllocs(t *testing.T) {
+	f := startFixture(t, 256, 1, 16, 0, false)
+	rb := dial(t, f, 1)
+	s := rb.NewSession()
+	ops := rb.Direct()
+
+	op := func() {
+		s.Read(ops, 7)
+		s.Insert(ops, 9, 42)
+	}
+	for i := 0; i < 512; i++ {
+		op()
+	}
+	allocs := testing.AllocsPerRun(500, op)
+	if raceEnabled {
+		t.Skipf("race detector instrumentation allocates; path exercised, pin skipped (measured %.2f)", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state point round trip allocates %.2f times, want 0", allocs)
+	}
+}

@@ -30,6 +30,32 @@ func hasWrite(ops []wire.Op) bool {
 	return false
 }
 
+// connIO bundles a connection's pooled I/O state: the buffered reader
+// and writer plus the frame-read scratch buffer, recycled together
+// across connections through one pool so accepting a connection costs
+// no per-side allocations in steady state.
+type connIO struct {
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte // wire.ReadFrame scratch, grown in place
+}
+
+var connIOPool = sync.Pool{New: func() any {
+	return &connIO{
+		br:      bufio.NewReaderSize(nil, 4096),
+		bw:      bufio.NewWriterSize(nil, 4096),
+		scratch: make([]byte, 0, 4096),
+	}
+}}
+
+// outMsg is one queued reply: either a pooled task whose reply buffer
+// holds the encoded frame (data plane — the writer recycles the task
+// after the write), or a standalone encoded frame (control plane).
+type outMsg struct {
+	t     *task
+	frame []byte
+}
+
 // srvConn is one client connection: a reader goroutine parses frames
 // and routes data-plane requests into shard queues (control-plane
 // requests are answered inline), a writer goroutine streams encoded
@@ -39,8 +65,8 @@ func hasWrite(ops []wire.Op) bool {
 type srvConn struct {
 	srv *Server
 	c   net.Conn
-	bw  *bufio.Writer
-	out chan []byte
+	io  *connIO
+	out chan outMsg
 
 	// inflight counts admitted-but-unanswered tasks; together with
 	// readerGone it decides when out can close.
@@ -51,18 +77,26 @@ type srvConn struct {
 }
 
 func newSrvConn(s *Server, nc net.Conn) *srvConn {
+	io := connIOPool.Get().(*connIO)
+	io.br.Reset(nc)
+	io.bw.Reset(nc)
 	return &srvConn{
 		srv: s,
 		c:   nc,
-		bw:  bufio.NewWriter(nc),
-		out: make(chan []byte, 256),
+		io:  io,
+		out: make(chan outMsg, 256),
 	}
 }
 
 // send queues one encoded frame for the writer. Callers hold either the
 // reader's liveness or an inflight reference, which is what guarantees
 // out is not yet closed.
-func (c *srvConn) send(frame []byte) { c.out <- frame }
+func (c *srvConn) send(frame []byte) { c.out <- outMsg{frame: frame} }
+
+// sendTask queues an answered task: its reply buffer holds the encoded
+// frame, and its inflight reference is released by the writer after the
+// write (the executor's only obligation ends here).
+func (c *srvConn) sendTask(t *task) { c.out <- outMsg{t: t} }
 
 // sendErr queues a TErr reply.
 func (c *srvConn) sendErr(id uint64, err error) {
@@ -108,9 +142,7 @@ func (c *srvConn) readLoop() {
 		c.readerExit()
 		c.srv.readers.Done()
 	}()
-	br := bufio.NewReader(c.c)
-	var scratch []byte
-	var ops []wire.Op
+	br := c.io.br
 	for {
 		if c.srv.draining.Load() {
 			return
@@ -121,28 +153,30 @@ func (c *srvConn) readLoop() {
 			payload []byte
 			err     error
 		)
-		id, t, payload, scratch, err = wire.ReadFrame(br, scratch)
+		id, t, payload, c.io.scratch, err = wire.ReadFrame(br, c.io.scratch)
 		if err != nil {
 			return
 		}
 		switch t {
 		case wire.TGet, wire.TPut, wire.TDel, wire.TScan, wire.TTxn:
-			ops = ops[:0]
-			ops, err = decodeData(t, payload, ops)
+			// Decode straight into a pooled task's op slice; the task (ops,
+			// results and reply buffers included) cycles reader → shard →
+			// writer → pool, so a steady-state request allocates nothing.
+			tsk := taskPool.Get().(*task)
+			tsk.ops, err = decodeData(t, payload, tsk.ops[:0])
 			if err != nil {
+				taskPool.Put(tsk)
 				c.sendErr(id, err)
 				continue
 			}
-			if f := c.srv.cfg.Follower; f != nil && !f.Promoted() && hasWrite(ops) {
+			if f := c.srv.cfg.Follower; f != nil && !f.Promoted() && hasWrite(tsk.ops) {
+				taskPool.Put(tsk)
 				c.sendErr(id, errReadOnlyReplica)
 				continue
 			}
-			tsk := &task{
-				c:   c,
-				id:  id,
-				ops: append([]wire.Op(nil), ops...),
-				t0:  time.Now(),
-			}
+			tsk.c = c
+			tsk.id = id
+			tsk.t0 = time.Now()
 			c.inflight.Add(1)
 			c.srv.shardFor(tsk.ops).ch <- tsk
 
@@ -160,6 +194,12 @@ func (c *srvConn) readLoop() {
 			}
 			if ctrl.AdmitWaitUs != 0 {
 				if err := c.srv.setAdmitWait(ctrl.AdmitWaitUs); err != nil {
+					c.sendErr(id, err)
+					continue
+				}
+			}
+			if ctrl.P99TargetUs != 0 {
+				if err := c.srv.setP99Target(ctrl.P99TargetUs); err != nil {
 					c.sendErr(id, err)
 					continue
 				}
@@ -285,34 +325,46 @@ const writeTimeout = 10 * time.Second
 
 // writeLoop streams reply frames, flushing whenever the queue runs dry
 // (coalesced flushes across pipelined replies). A write error stops
-// output but keeps draining the queue so executors never block on a
-// dead connection.
+// output but keeps draining the queue — releasing inflight references
+// and recycling tasks — so executors never block on a dead connection.
+// The writer exits last (out closes only after the reader is gone and
+// inflight hits zero), so it owns returning the connection's pooled
+// I/O state.
 func (c *srvConn) writeLoop() {
 	defer func() {
 		c.c.Close()
+		c.io.br.Reset(nil)
+		c.io.bw.Reset(nil)
+		connIOPool.Put(c.io)
 		c.srv.mu.Lock()
 		delete(c.srv.conns, c)
 		c.srv.mu.Unlock()
 		c.srv.writers.Done()
 	}()
+	bw := c.io.bw
 	var werr error
-	for frame := range c.out {
-		if werr != nil {
-			continue
+	for m := range c.out {
+		frame := m.frame
+		if m.t != nil {
+			frame = m.t.reply
 		}
-		c.c.SetWriteDeadline(time.Now().Add(writeTimeout))
-		if _, err := c.bw.Write(frame); err != nil {
-			werr = err
-			continue
-		}
-		if len(c.out) == 0 {
-			if err := c.bw.Flush(); err != nil {
+		if werr == nil {
+			c.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+			if _, err := bw.Write(frame); err != nil {
 				werr = err
+			} else if len(c.out) == 0 {
+				if err := bw.Flush(); err != nil {
+					werr = err
+				}
 			}
+		}
+		if m.t != nil {
+			taskPool.Put(m.t)
+			c.taskDone()
 		}
 	}
 	if werr == nil {
 		c.c.SetWriteDeadline(time.Now().Add(writeTimeout))
-		c.bw.Flush()
+		bw.Flush()
 	}
 }

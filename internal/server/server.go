@@ -68,6 +68,21 @@ type Config struct {
 	// dry; small values trade per-op latency for fuller batches (and,
 	// durably, fuller group commits). Reconfigurable live via TCtrl.
 	AdmitWait time.Duration
+	// P99Target, when positive, starts the adaptive admission controller
+	// at Listen: a control loop that owns BatchMax and AdmitWait online,
+	// growing batches while the server-side p99 service latency holds
+	// under the target and the capacity-abort share stays low, shrinking
+	// them when either budget is blown. Also settable live via
+	// Ctrl.P99TargetUs.
+	P99Target time.Duration
+	// CtrlInterval is the controller's sampling interval. Default 10ms;
+	// each interval differences the latency histogram and abort
+	// collector and makes at most one knob move.
+	CtrlInterval time.Duration
+	// CtrlCapacityMax is the capacity-abort share (capacity aborts /
+	// attempts) above which the controller shrinks batches regardless of
+	// latency headroom — the TMCAM-cliff guard. Default 0.02.
+	CtrlCapacityMax float64
 	// Store, when non-nil, is the durability manager already attached to
 	// System; Drain forces a final checkpoint to CheckpointPath (if set)
 	// and syncs the log. A durable server is automatically a replication
@@ -103,6 +118,14 @@ type Server struct {
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
 
+	// Adaptive admission controller state (admission.go). p99Target is
+	// the live target in nanoseconds (zero = controller off).
+	p99Target   atomic.Int64
+	ctrlEpochs  atomic.Uint64
+	ctrlAdjusts atomic.Uint64
+	ctrlMu      sync.Mutex
+	ctrl        *controller
+
 	// execMu lets the control plane quiesce the executors: every batch
 	// runs under RLock, a TCheck takes Lock.
 	execMu sync.RWMutex
@@ -125,17 +148,28 @@ type shard struct {
 	ch    chan *task
 	sess  engine.Session
 	batch []*task
-	enc   []byte // reply-payload scratch (AppendFrame copies it out)
+	timer *time.Timer // admission-grace timer, reused across batches
+	// body is the transaction body handed to System.Atomic, bound once
+	// at construction — a per-batch closure literal would escape and
+	// cost one heap allocation per batch.
+	body func(tm.Ops)
 }
 
-// task is one admitted data-plane request.
+// task is one admitted data-plane request. Tasks are pooled: the reader
+// decodes into ops, the executor fills results and encodes the framed
+// reply in place, and the writer recycles the task after the socket
+// write — all three buffers keep their capacity across requests, which
+// is what makes the steady-state request path allocation-free.
 type task struct {
 	c       *srvConn
 	id      uint64
 	ops     []wire.Op
 	results []wire.Result
+	reply   []byte // encoded TReply frame (wire.AppendResultsFrame)
 	t0      time.Time
 }
+
+var taskPool = sync.Pool{New: func() any { return new(task) }}
 
 // New validates the configuration and builds the server (not yet
 // listening).
@@ -152,6 +186,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.BatchMax <= 0 {
 		cfg.BatchMax = 16
 	}
+	if cfg.CtrlInterval <= 0 {
+		cfg.CtrlInterval = 10 * time.Millisecond
+	}
+	if cfg.CtrlCapacityMax <= 0 {
+		cfg.CtrlCapacityMax = 0.02
+	}
 	s := &Server{
 		cfg:   cfg,
 		hist:  &stats.Histogram{},
@@ -163,11 +203,13 @@ func New(cfg Config) (*Server, error) {
 		s.pub = replica.NewPublisher(cfg.Store.LogPath(), cfg.Store.Log())
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		s.shards = append(s.shards, &shard{
+		sh := &shard{
 			id:   i,
 			ch:   make(chan *task, 256),
 			sess: cfg.Backend.NewSession(),
-		})
+		}
+		sh.body = sh.execBody
+		s.shards = append(s.shards, sh)
 	}
 	return s, nil
 }
@@ -184,6 +226,12 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	for _, sh := range s.shards {
 		s.execs.Add(1)
 		go sh.run(s)
+	}
+	if s.cfg.P99Target > 0 {
+		if err := s.setP99Target(int(s.cfg.P99Target / time.Microsecond)); err != nil {
+			ln.Close()
+			return nil, err
+		}
 	}
 	return ln.Addr(), nil
 }
@@ -239,6 +287,9 @@ func (s *Server) Drain() error {
 			c.c.SetReadDeadline(time.Now())
 		}
 		s.mu.Unlock()
+		// Draining is set, so a racing TCtrl cannot restart the controller
+		// after this stop.
+		s.stopController()
 		if s.ln != nil {
 			s.ln.Close()
 		}
@@ -320,6 +371,9 @@ func (s *Server) statsSnapshot() wire.ServerStats {
 		Shards:      len(s.shards),
 		BatchMax:    int(s.batchMax.Load()),
 		AdmitWaitUs: int(time.Duration(s.admitWait.Load()) / time.Microsecond),
+		P99TargetUs: int(time.Duration(s.p99Target.Load()) / time.Microsecond),
+		CtrlEpochs:  s.ctrlEpochs.Load(),
+		CtrlAdjusts: s.ctrlAdjusts.Load(),
 		Durable:     s.cfg.Store != nil,
 		Stats:       s.cfg.System.Collector().Snapshot(),
 		Batches:     s.batches.Load(),
@@ -370,16 +424,24 @@ func (sh *shard) run(s *Server) {
 			if rem <= 0 {
 				break
 			}
-			timer := time.NewTimer(rem)
+			// The grace timer is per-shard and reused across batches
+			// (Reset/Stop without draining is sound under go >= 1.23 timer
+			// semantics), so a non-zero admission grace costs no allocation
+			// per batch.
+			if sh.timer == nil {
+				sh.timer = time.NewTimer(rem)
+			} else {
+				sh.timer.Reset(rem)
+			}
 			select {
 			case t2, ok := <-sh.ch:
-				timer.Stop()
+				sh.timer.Stop()
 				if !ok {
 					break fill
 				}
 				sh.batch = append(sh.batch, t2)
 				opsN += len(t2.ops)
-			case <-timer.C:
+			case <-sh.timer.C:
 				break fill
 			}
 		}
@@ -413,33 +475,7 @@ func (sh *shard) exec(s *Server, opsN int) {
 		}
 	}
 	sh.sess.Prepare(inserts)
-	s.cfg.System.Atomic(sh.id, kind, func(ops tm.Ops) {
-		// The body may retry (TM contract): Reset rewinds the session and
-		// results are overwritten in place, so replays are idempotent.
-		sh.sess.Reset()
-		for _, t := range sh.batch {
-			for i, op := range t.ops {
-				switch op.Kind {
-				case wire.OpGet:
-					v, ok := sh.sess.Read(ops, op.Key)
-					t.results[i] = wire.Result{OK: ok, Val: v}
-				case wire.OpPut:
-					wasNew := sh.sess.Insert(ops, op.Key, op.Arg)
-					t.results[i] = wire.Result{OK: wasNew, Val: op.Arg}
-				case wire.OpDel:
-					present := sh.sess.Delete(ops, op.Key)
-					t.results[i] = wire.Result{OK: present}
-				case wire.OpScan:
-					n := sh.sess.Scan(ops, op.Key, int(op.Arg))
-					t.results[i] = wire.Result{OK: true, Val: uint64(n)}
-				case wire.OpRMW:
-					v, _ := sh.sess.Read(ops, op.Key)
-					sh.sess.Insert(ops, op.Key, v+op.Arg)
-					t.results[i] = wire.Result{OK: true, Val: v + op.Arg}
-				}
-			}
-		}
-	})
+	s.cfg.System.Atomic(sh.id, kind, sh.body)
 	sh.sess.Commit()
 	if f := s.cfg.Follower; f != nil {
 		f.RUnlock()
@@ -451,9 +487,40 @@ func (sh *shard) exec(s *Server, opsN int) {
 	for _, t := range sh.batch {
 		// With a durable store attached, Atomic returned only after the
 		// batch's record was fsynced — the reply acknowledges durability.
+		// The framed reply is encoded straight into the task's own buffer
+		// (no intermediate payload, no copy); the writer releases the
+		// inflight reference and recycles the task after the write.
 		s.hist.Observe(time.Since(t.t0))
-		sh.enc = wire.AppendResults(sh.enc[:0], t.results)
-		t.c.send(wire.AppendFrame(nil, t.id, wire.TReply, sh.enc))
-		t.c.taskDone()
+		t.reply = wire.AppendResultsFrame(t.reply[:0], t.id, t.results)
+		t.c.sendTask(t)
+	}
+}
+
+// execBody is the transaction body for the shard's current batch. The
+// body may retry (TM contract): Reset rewinds the session and results
+// are overwritten in place, so replays are idempotent.
+func (sh *shard) execBody(ops tm.Ops) {
+	sh.sess.Reset()
+	for _, t := range sh.batch {
+		for i, op := range t.ops {
+			switch op.Kind {
+			case wire.OpGet:
+				v, ok := sh.sess.Read(ops, op.Key)
+				t.results[i] = wire.Result{OK: ok, Val: v}
+			case wire.OpPut:
+				wasNew := sh.sess.Insert(ops, op.Key, op.Arg)
+				t.results[i] = wire.Result{OK: wasNew, Val: op.Arg}
+			case wire.OpDel:
+				present := sh.sess.Delete(ops, op.Key)
+				t.results[i] = wire.Result{OK: present}
+			case wire.OpScan:
+				n := sh.sess.Scan(ops, op.Key, int(op.Arg))
+				t.results[i] = wire.Result{OK: true, Val: uint64(n)}
+			case wire.OpRMW:
+				v, _ := sh.sess.Read(ops, op.Key)
+				sh.sess.Insert(ops, op.Key, v+op.Arg)
+				t.results[i] = wire.Result{OK: true, Val: v + op.Arg}
+			}
+		}
 	}
 }

@@ -137,7 +137,7 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 		// hardware, unbounded capacity, never aborts. The state
 		// announcement is what makes writers quiesce on us.
 		s.syncWithGL(thread, th)
-		body(tm.ReadOnlyOps{Inner: tm.PlainOps{Th: th}})
+		body(tm.ReadOnlyPlainOps{Th: th})
 		// The atomic store below plays the role of the lwsync: all reads
 		// above complete before the state change is visible.
 		s.state[thread].v.Store(clock.Inactive)

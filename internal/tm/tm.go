@@ -101,6 +101,22 @@ func (o ReadOnlyOps) Write(memsim.Addr, uint64) {
 	panic("tm: Write inside a transaction declared read-only")
 }
 
+// ReadOnlyPlainOps is ReadOnlyOps over PlainOps flattened to a single
+// pointer field. The flattening matters on the hot path: a one-pointer
+// struct is a direct interface type, so passing it to a body as Ops
+// stores the pointer in the interface word itself — the two-word
+// ReadOnlyOps{Inner: PlainOps{...}} composition heap-allocates a box on
+// every read-only transaction.
+type ReadOnlyPlainOps struct{ Th *htm.Thread }
+
+// Read implements Ops.
+func (o ReadOnlyPlainOps) Read(a memsim.Addr) uint64 { return o.Th.Load(a) }
+
+// Write implements Ops by panicking.
+func (o ReadOnlyPlainOps) Write(memsim.Addr, uint64) {
+	panic("tm: Write inside a transaction declared read-only")
+}
+
 // AbortKindOf maps a hardware abort cause to the paper's abort taxonomy:
 // explicit aborts are raised by the lock-subscription check when the SGL
 // is busy, so they count as non-transactional, like the SGL kills

@@ -128,6 +128,17 @@ func ParseOps(p []byte, dst []Op) ([]Op, error) {
 	return dst, nil
 }
 
+// AppendOpsFrame encodes a complete TTxn frame carrying ops directly
+// onto buf — equivalent to AppendFrame(buf, id, TTxn, AppendOps(nil,
+// ops)) without the intermediate payload slice. Allocation-free when
+// buf has capacity; this is the client hot path's encoder.
+func AppendOpsFrame(buf []byte, id uint64, ops []Op) []byte {
+	start := len(buf)
+	buf = appendHeader(buf, id, TTxn, 0)
+	buf = AppendOps(buf, ops)
+	return sealFrame(buf, start)
+}
+
 // AppendResults encodes a result list (count u32, then results) onto p.
 func AppendResults(p []byte, rs []Result) []byte {
 	var cnt [4]byte
@@ -142,6 +153,16 @@ func AppendResults(p []byte, rs []Result) []byte {
 		p = append(p, b[:]...)
 	}
 	return p
+}
+
+// AppendResultsFrame encodes a complete TReply frame carrying rs
+// directly onto buf — the server hot path's encoder, pairing with
+// AppendOpsFrame. Allocation-free when buf has capacity.
+func AppendResultsFrame(buf []byte, id uint64, rs []Result) []byte {
+	start := len(buf)
+	buf = appendHeader(buf, id, TReply, 0)
+	buf = AppendResults(buf, rs)
+	return sealFrame(buf, start)
 }
 
 // ParseResults decodes a result list into dst.
@@ -209,6 +230,14 @@ type Ctrl struct {
 	// requests before committing. Positive sets, negative clears to
 	// zero, zero keeps the current value.
 	AdmitWaitUs int `json:"admit_wait_us,omitempty"`
+	// P99TargetUs sets the adaptive admission controller's server-side
+	// p99 service-latency target in microseconds, starting the
+	// controller if it is not running. Negative stops the controller
+	// (the knobs freeze at their converged values), zero keeps the
+	// current state. While the controller runs, it owns BatchMax and
+	// AdmitWaitUs: manual settings in the same Ctrl apply first and are
+	// then adjusted from.
+	P99TargetUs int `json:"p99_target_us,omitempty"`
 }
 
 // ServerStats is the TStats reply payload: everything a load generator
@@ -225,6 +254,14 @@ type ServerStats struct {
 	Shards      int `json:"shards"`
 	BatchMax    int `json:"batch_max"`
 	AdmitWaitUs int `json:"admit_wait_us,omitempty"`
+	// P99TargetUs is the adaptive admission controller's p99 target
+	// (zero when the controller is off); CtrlEpochs counts completed
+	// control intervals and CtrlAdjusts the ones that changed a knob.
+	// Differencing CtrlAdjusts across a window tells a load generator
+	// whether the controller has converged or is still hunting.
+	P99TargetUs int    `json:"p99_target_us,omitempty"`
+	CtrlEpochs  uint64 `json:"ctrl_epochs,omitempty"`
+	CtrlAdjusts uint64 `json:"ctrl_adjusts,omitempty"`
 	// Durable reports whether a WAL/checkpoint store backs the server.
 	Durable bool `json:"durable,omitempty"`
 	// Repl describes the server's place in a replicated cluster (nil on

@@ -144,13 +144,29 @@ var ErrBadFrame = errors.New("wire: bad frame")
 // slice. Allocation-free when buf has capacity.
 func AppendFrame(buf []byte, id uint64, t Type, payload []byte) []byte {
 	start := len(buf)
+	buf = appendHeader(buf, id, t, len(payload))
+	buf = append(buf, payload...)
+	return sealFrame(buf, start)
+}
+
+// appendHeader encodes a frame header claiming an n-byte payload.
+func appendHeader(buf []byte, id uint64, t Type, n int) []byte {
 	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(n))
 	binary.LittleEndian.PutUint64(hdr[8:], id)
 	hdr[16] = byte(t)
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, payload...)
+	return append(buf, hdr[:]...)
+}
+
+// sealFrame finishes the frame whose header starts at start: the length
+// field is patched to cover whatever was appended after the header, and
+// the CRC trailer is computed over the whole frame. Splitting
+// header/seal lets payload codecs encode straight into the framed
+// buffer (AppendOpsFrame, AppendResultsFrame) with no intermediate
+// payload slice.
+func sealFrame(buf []byte, start int) []byte {
+	binary.LittleEndian.PutUint32(buf[start+4:], uint32(len(buf)-start-headerBytes))
 	crc := crc32.Checksum(buf[start:], castagnoli)
 	var tr [trailerBytes]byte
 	binary.LittleEndian.PutUint32(tr[:], crc)

@@ -77,7 +77,7 @@ func (b *RemoteBackend) Name() string { return "remote" }
 // next connection.
 func (b *RemoteBackend) NewSession() Session {
 	c := b.conns[int(b.next.Add(1)-1)%len(b.conns)]
-	return &remoteSession{c: c}
+	return &remoteSession{c: c, w: newWaiter()}
 }
 
 // Direct implements Backend. A remote backend has no local heap; the
@@ -156,9 +156,13 @@ func (remoteNoOps) Write(memsim.Addr, uint64) {
 	panic("engine: remote backend has no direct heap access")
 }
 
-// remoteSession is one thread's pipelined view of the server.
+// remoteSession is one thread's pipelined view of the server. It owns
+// its waiter (sessions are single-threaded with one outstanding request
+// at a time), so a steady-state synchronous round trip — encode, write,
+// demultiplexed reply, parse — performs no heap allocations.
 type remoteSession struct {
 	c       *clientConn
+	w       *waiter
 	pending []wire.Op
 	results []wire.Result
 	payload []byte
@@ -181,10 +185,13 @@ func (s *remoteSession) Commit() {
 
 // flush ships the pending ops as a single atomic request and fills
 // s.results. Single plain ops use the compact point-request frames so
-// the whole protocol surface stays exercised; everything else is a TXN.
+// the whole protocol surface stays exercised; everything else is a TXN,
+// encoded straight into the connection's write buffer (no intermediate
+// payload slice).
 func (s *remoteSession) flush() {
 	var (
 		t       wire.Type
+		txn     bool
 		payload = s.payload[:0]
 	)
 	if len(s.pending) == 1 {
@@ -199,14 +206,23 @@ func (s *remoteSession) flush() {
 		case wire.OpScan:
 			t, payload = wire.TScan, wire.AppendKeyArg(payload, op.Key, op.Arg)
 		default:
-			t, payload = wire.TTxn, wire.AppendOps(payload, s.pending)
+			txn = true
 		}
 	} else {
-		t, payload = wire.TTxn, wire.AppendOps(payload, s.pending)
+		txn = true
 	}
 	s.payload = payload
 
-	rt, rp, err := s.c.roundTrip(t, payload)
+	var (
+		rt  wire.Type
+		rp  []byte
+		err error
+	)
+	if txn {
+		rt, rp, err = s.c.do(s.w, 0, nil, s.pending)
+	} else {
+		rt, rp, err = s.c.do(s.w, t, payload, nil)
+	}
 	if err != nil {
 		panic(fmt.Sprintf("engine: remote session: %v", err))
 	}
@@ -331,17 +347,31 @@ type clientConn struct {
 	nextID uint64 // guarded by wmu
 
 	pmu     sync.Mutex
-	pending map[uint64]chan clientReply
+	pending map[uint64]*waiter
 	broken  error // sticky transport failure, guarded by pmu
 
 	readerDone chan struct{}
 }
 
-// clientReply is one demultiplexed response (payload copied out of the
-// reader's scratch buffer).
+// waiter is one caller's reply slot: a reusable one-shot channel plus
+// the buffer the reader copies the payload into. The channel is never
+// closed (a transport failure is delivered as a clientReply carrying
+// err), so a waiter is reusable across requests: sessions keep one for
+// their lifetime, which is what makes the client round trip
+// allocation-free.
+type waiter struct {
+	ch  chan clientReply
+	buf []byte
+}
+
+func newWaiter() *waiter { return &waiter{ch: make(chan clientReply, 1)} }
+
+// clientReply is one demultiplexed response; n is the payload length
+// copied into the waiter's buffer.
 type clientReply struct {
-	t       wire.Type
-	payload []byte
+	t   wire.Type
+	n   int
+	err error
 }
 
 func dialConn(addr string) (*clientConn, error) {
@@ -352,7 +382,7 @@ func dialConn(addr string) (*clientConn, error) {
 	c := &clientConn{
 		c:          nc,
 		bw:         bufio.NewWriter(nc),
-		pending:    map[uint64]chan clientReply{},
+		pending:    map[uint64]*waiter{},
 		readerDone: make(chan struct{}),
 	}
 	go c.readLoop()
@@ -365,14 +395,16 @@ func (c *clientConn) close() error {
 	return err
 }
 
-// fail marks the connection broken and wakes every waiter.
+// fail marks the connection broken and wakes every waiter. Each pending
+// waiter gets exactly one reply (cap-1 channel), so the sends never
+// block and the channels stay reusable.
 func (c *clientConn) fail(err error) {
 	c.pmu.Lock()
 	if c.broken == nil {
 		c.broken = err
 	}
-	for id, ch := range c.pending {
-		close(ch)
+	for id, w := range c.pending {
+		w.ch <- clientReply{err: err}
 		delete(c.pending, id)
 	}
 	c.pmu.Unlock()
@@ -395,21 +427,34 @@ func (c *clientConn) readLoop() {
 			return
 		}
 		c.pmu.Lock()
-		ch, ok := c.pending[id]
+		w, ok := c.pending[id]
 		delete(c.pending, id)
 		c.pmu.Unlock()
 		if ok {
-			ch <- clientReply{t: t, payload: append([]byte(nil), payload...)}
+			// Copy into the waiter's own (reused) buffer: the scratch is
+			// about to be overwritten by the next frame, and the waiter is
+			// the only goroutine that will read buf until its next request.
+			w.buf = append(w.buf[:0], payload...)
+			w.ch <- clientReply{t: t, n: len(payload)}
 		}
 	}
 }
 
-// roundTrip sends one request and blocks for its response. Concurrent
-// callers pipeline: the write lock covers only the frame write, and
-// responses are matched by id.
+// roundTrip sends one control-plane request and blocks for its
+// response, on a fresh waiter (the data plane goes through do with the
+// session's own waiter).
 func (c *clientConn) roundTrip(t wire.Type, payload []byte) (wire.Type, []byte, error) {
-	ch := make(chan clientReply, 1)
+	return c.do(newWaiter(), t, payload, nil)
+}
 
+// do sends one request on w and blocks for its response. Concurrent
+// callers pipeline: the write lock covers only the frame encode+write,
+// and responses are matched by id. When ops is non-nil the request is a
+// TXN encoded directly into the connection's write buffer
+// (wire.AppendOpsFrame — no intermediate payload); otherwise t/payload
+// frame as given. The returned payload aliases w.buf and is valid until
+// w's next request.
+func (c *clientConn) do(w *waiter, t wire.Type, payload []byte, ops []wire.Op) (wire.Type, []byte, error) {
 	c.wmu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -419,9 +464,13 @@ func (c *clientConn) roundTrip(t wire.Type, payload []byte) (wire.Type, []byte, 
 		c.wmu.Unlock()
 		return 0, nil, err
 	}
-	c.pending[id] = ch
+	c.pending[id] = w
 	c.pmu.Unlock()
-	c.wbuf = wire.AppendFrame(c.wbuf[:0], id, t, payload)
+	if ops != nil {
+		c.wbuf = wire.AppendOpsFrame(c.wbuf[:0], id, ops)
+	} else {
+		c.wbuf = wire.AppendFrame(c.wbuf[:0], id, t, payload)
+	}
 	_, werr := c.bw.Write(c.wbuf)
 	if werr == nil {
 		werr = c.bw.Flush()
@@ -429,18 +478,15 @@ func (c *clientConn) roundTrip(t wire.Type, payload []byte) (wire.Type, []byte, 
 	c.wmu.Unlock()
 	if werr != nil {
 		c.fail(fmt.Errorf("engine: remote connection: %w", werr))
+		// The failure reply w received (from fail, or from the reader's
+		// own exit) must be consumed so w stays reusable.
+		<-w.ch
 		return 0, nil, werr
 	}
 
-	r, ok := <-ch
-	if !ok {
-		c.pmu.Lock()
-		err := c.broken
-		c.pmu.Unlock()
-		if err == nil {
-			err = fmt.Errorf("engine: remote connection closed")
-		}
-		return 0, nil, err
+	r := <-w.ch
+	if r.err != nil {
+		return 0, nil, r.err
 	}
-	return r.t, r.payload, nil
+	return r.t, w.buf[:r.n], nil
 }
