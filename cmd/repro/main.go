@@ -106,6 +106,8 @@ serve flags:
   --checkpoint-every=DUR    fuzzy checkpoint interval (default 1s; 0 disables)
   --follow=HOST:PORT        serve as a read replica of the durable leader at ADDR
   --leader-log=PATH         shared-storage path of the leader's wal.log (for promotion)
+  --metrics-addr=HOST:PORT  observability plane: /metrics, /healthz, /readyz, /debug/pprof
+  --trace-slow=DUR          log per-stage lifecycle traces for requests slower than DUR
 
 promote flags:
   --addr=HOST:PORT          follower address to promote (required)

@@ -35,9 +35,11 @@ func cmdServe(args []string) error {
 		dir       = fs.String("durable-dir", "", "serve durably: WAL + checkpoints + meta.json in DIR")
 		window    = fs.Duration("window", time.Millisecond, "durable group-commit fsync window")
 		ckptEvery = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
-		follow    = fs.String("follow", "", "serve as a read replica of the durable leader at ADDR")
-		leaderLog = fs.String("leader-log", "", "shared-storage path of the leader's wal.log (promotion catch-up)")
-		quiet     = fs.Bool("quiet", false, "suppress the per-second stats line")
+		follow      = fs.String("follow", "", "serve as a read replica of the durable leader at ADDR")
+		leaderLog   = fs.String("leader-log", "", "shared-storage path of the leader's wal.log (promotion catch-up)")
+		metricsAddr = fs.String("metrics-addr", "", "observability address: /metrics, /healthz, /readyz, /debug/pprof")
+		traceSlow   = fs.Duration("trace-slow", 0, "log a per-stage lifecycle trace for requests slower than this (0 disables)")
+		quiet       = fs.Bool("quiet", false, "suppress the per-second stats line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,23 +60,37 @@ func cmdServe(args []string) error {
 		CkptEvery:     *ckptEvery,
 		FollowAddr:    *follow,
 		LeaderLogPath: *leaderLog,
+		MetricsAddr:   *metricsAddr,
+		TraceSlow:     *traceSlow,
 	})
 	if err != nil {
 		return err
 	}
-	durability := "volatile"
+	// One structured line with everything an operator needs to find this
+	// process again: addresses, build, and every knob that shapes the
+	// run.
+	mode := "volatile"
+	switch {
+	case *dir != "":
+		mode = "durable"
+	case *follow != "":
+		mode = "follower"
+	}
+	fields := fmt.Sprintf("addr=%s scenario=%s system=%s scale=%s shards=%d mode=%s batch_max=%d admit_wait=%s p99_target=%s",
+		ns.Addr, *scenario, *system, *scaleName, *shards, mode, *batch, *admitWait, *p99Target)
 	if *dir != "" {
-		durability = fmt.Sprintf("durable (%s, window %s)", *dir, *window)
+		fields += fmt.Sprintf(" durable_dir=%s window=%s", *dir, *window)
 	}
 	if *follow != "" {
-		durability = fmt.Sprintf("follower of %s (read-only until promoted)", *follow)
+		fields += fmt.Sprintf(" leader=%s", *follow)
 	}
-	admission := fmt.Sprintf("batch<=%d", *batch)
-	if *p99Target > 0 {
-		admission = fmt.Sprintf("adaptive admission (p99 target %s)", *p99Target)
+	if ns.Metrics != nil {
+		fields += fmt.Sprintf(" metrics_addr=%s", ns.Metrics.Addr())
 	}
-	fmt.Fprintf(os.Stderr, "serve: %s on %s, %d shards, %s, %s — listening on %s\n",
-		*scenario, *system, *shards, admission, durability, ns.Addr)
+	if *traceSlow > 0 {
+		fields += fmt.Sprintf(" trace_slow=%s", *traceSlow)
+	}
+	fmt.Fprintf(os.Stderr, "serve: started %s\n", fields)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
@@ -102,7 +118,19 @@ func cmdServe(args []string) error {
 			if err := <-served; err != nil {
 				return err
 			}
-			fmt.Fprintln(os.Stderr, "serve: drained cleanly")
+			// Final counter totals, in the same key=value shape as the
+			// startup line, so a log pair brackets the whole run.
+			st := ns.Srv.Snapshot()
+			totals := fmt.Sprintf("uptime=%s ops=%d commits=%d commits_ro=%d aborts=%d fallbacks=%d batches=%d",
+				time.Since(start).Round(time.Millisecond), st.Hist.Count(),
+				st.Stats.Commits, st.Stats.CommitsRO, st.Stats.TotalAborts(), st.Stats.Fallbacks, st.Batches)
+			if t := st.Telemetry; t != nil {
+				totals += fmt.Sprintf(" frames_in=%d frames_out=%d slow_traces=%d", t.FramesIn, t.FramesOut, t.SlowTraces)
+				if st.Durable {
+					totals += fmt.Sprintf(" wal_records=%d wal_fsyncs=%d", t.WalRecords, t.WalFsyncs)
+				}
+			}
+			fmt.Fprintf(os.Stderr, "serve: drained cleanly %s\n", totals)
 			return nil
 		case err := <-served:
 			// Listener failed outside a drain.

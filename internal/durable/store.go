@@ -83,6 +83,10 @@ type Store struct {
 	barrier sync.RWMutex
 
 	last []threadSeq // per-thread last assigned sequence
+
+	// ackHist observes how long each WaitAck'd Atomic blocked on the
+	// group-commit fsync — the durability tax as the caller feels it.
+	ackHist stats.Histogram
 }
 
 // Open creates a store logging to logPath. The caller sizes last for
@@ -145,6 +149,10 @@ func (s *Store) WaitThread(thread int) {
 	}
 }
 
+// AckWaitHist returns the live ack-wait histogram (time Atomic callers
+// spent blocked on fsync acknowledgement) for telemetry registration.
+func (s *Store) AckWaitHist() *stats.Histogram { return &s.ackHist }
+
 // LastSeq returns the highest sequence number assigned so far.
 func (s *Store) LastSeq() uint64 { return s.log.LastSeq() }
 
@@ -194,7 +202,9 @@ func (d *System) Collector() *stats.Collector { return d.inner.Collector() }
 func (d *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 	d.inner.Atomic(thread, kind, body)
 	if d.store.cfg.WaitAck {
+		t0 := time.Now()
 		d.store.WaitThread(thread)
+		d.store.ackHist.Observe(time.Since(t0))
 	}
 }
 

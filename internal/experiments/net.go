@@ -16,6 +16,7 @@ import (
 	"sihtm/internal/results"
 	"sihtm/internal/server"
 	"sihtm/internal/stats"
+	"sihtm/internal/telemetry"
 	"sihtm/internal/topology"
 	"sihtm/internal/wire"
 	"sihtm/internal/workload/engine"
@@ -106,6 +107,15 @@ type NetExtras struct {
 	// BatchAvg is the achieved ops-per-transaction of the admission
 	// batching during the window.
 	BatchAvg float64
+	// AdmitP99 is the p99 of the admission-wait stage (arrival to batch
+	// execution start) over the window.
+	AdmitP99 time.Duration
+	// Fsyncs counts the window's fsyncs and FsyncP99/AckP99 the p99 of
+	// fsync wall time and of the commit-acknowledgement wait (durable
+	// servers only; zero otherwise).
+	Fsyncs   uint64
+	FsyncP99 time.Duration
+	AckP99   time.Duration
 }
 
 // netSpec rebuilds the client-side Spec matching a server build: the
@@ -134,6 +144,15 @@ func ycsbSpecByID(id string) (ycsbSpec, error) {
 // harness result: client-observed commits and throughput, server-side
 // abort taxonomy, plus the latency extras.
 func RunNetPoint(p NetPoint, sc Scale) (harness.Result, NetExtras, error) {
+	return runNetPoint(p, sc, nil)
+}
+
+// runNetPoint is RunNetPoint with an optional mid-measurement observer:
+// when non-nil, mid runs halfway through the measurement window while
+// the workers are still driving load (the net-observe cell scrapes the
+// live /metrics endpoint there). mid receives the self-hosted server (nil
+// when the point targets an external address).
+func runNetPoint(p NetPoint, sc Scale, mid func(h *netHost) error) (harness.Result, NetExtras, error) {
 	sc = sc.withDefaults()
 	fail := func(err error) (harness.Result, NetExtras, error) { return harness.Result{}, NetExtras{}, err }
 	y, err := ycsbSpecByID(p.Scenario)
@@ -212,7 +231,16 @@ func RunNetPoint(p NetPoint, sc Scale) (harness.Result, NetExtras, error) {
 	}
 	cl0 := csys.Collector().Snapshot()
 	start := time.Now()
-	time.Sleep(sc.Measure)
+	if mid == nil {
+		time.Sleep(sc.Measure)
+	} else {
+		time.Sleep(sc.Measure / 2)
+		if err := mid(host); err != nil {
+			stopWorkers()
+			return fail(err)
+		}
+		time.Sleep(sc.Measure - sc.Measure/2)
+	}
 	sv1, err := rb.Stats()
 	elapsed := time.Since(start)
 	cl1 := csys.Collector().Snapshot()
@@ -245,6 +273,12 @@ func RunNetPoint(p NetPoint, sc Scale) (harness.Result, NetExtras, error) {
 	extras := NetExtras{P50: hist.Quantile(0.5), P99: hist.Quantile(0.99)}
 	if batches := sv1.Batches - sv0.Batches; batches > 0 {
 		extras.BatchAvg = float64(sv1.BatchedOps-sv0.BatchedOps) / float64(batches)
+	}
+	if t1, t0 := sv1.Telemetry, sv0.Telemetry; t1 != nil && t0 != nil {
+		extras.AdmitP99 = t1.AdmitWaitHist.Sub(t0.AdmitWaitHist).Quantile(0.99)
+		extras.Fsyncs = t1.WalFsyncs - t0.WalFsyncs
+		extras.FsyncP99 = t1.FsyncHist.Sub(t0.FsyncHist).Quantile(0.99)
+		extras.AckP99 = t1.AckWaitHist.Sub(t0.AckWaitHist).Quantile(0.99)
 	}
 
 	// Server-side structural check over the wire (quiesces executors).
@@ -383,6 +417,10 @@ func (e Entry) recordNet(param string, hr harness.Result, ex NetExtras) results.
 	r.LatencyP50Us = float64(ex.P50) / float64(time.Microsecond)
 	r.LatencyP99Us = float64(ex.P99) / float64(time.Microsecond)
 	r.BatchAvgOps = ex.BatchAvg
+	r.AdmitWaitP99Us = float64(ex.AdmitP99) / float64(time.Microsecond)
+	r.FsyncsTotal = ex.Fsyncs
+	r.FsyncP99Us = float64(ex.FsyncP99) / float64(time.Microsecond)
+	r.AckWaitP99Us = float64(ex.AckP99) / float64(time.Microsecond)
 	return r
 }
 
@@ -484,7 +522,7 @@ func netDurableEntry() Entry {
 // netEntries builds the networked scenario entries in presentation
 // order.
 func netEntries() []Entry {
-	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry()}
+	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry(), netObserveEntry()}
 }
 
 // NetEntryIDs lists the networked registry entries `repro loadgen` can
@@ -539,6 +577,14 @@ type ServeConfig struct {
 	// promotion catches up from its valid prefix, which contains every
 	// acknowledged commit.
 	LeaderLogPath string
+	// MetricsAddr, when set, serves the observability plane there:
+	// Prometheus text on /metrics, /healthz, /readyz (ready = admitting;
+	// a follower is additionally ready only while its replication
+	// watermark advances or it has been promoted), and /debug/pprof.
+	MetricsAddr string
+	// TraceSlow, when positive, logs a rate-limited per-stage lifecycle
+	// trace for every request slower end-to-end than this threshold.
+	TraceSlow time.Duration
 }
 
 // NetServer is a running `repro serve` instance.
@@ -547,6 +593,9 @@ type NetServer struct {
 	Srv *server.Server
 	// Addr is the bound listen address.
 	Addr net.Addr
+	// Metrics is the observability-plane HTTP server (nil unless
+	// ServeConfig.MetricsAddr was set).
+	Metrics *telemetry.Server
 
 	store *durable.Store
 	fol   *replica.Follower
@@ -590,6 +639,7 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 		Scenario:  cfg.Scenario,
 		Scale:     cfg.ScaleName,
 		P99Target: cfg.P99Target,
+		TraceSlow: cfg.TraceSlow,
 	}
 	if cfg.FollowAddr != "" {
 		if cfg.DurableDir != "" {
@@ -685,6 +735,39 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 	if ns.fol != nil {
 		ns.fol.Start()
 	}
+	if cfg.MetricsAddr != "" {
+		// Readiness: a draining server admits nothing; an unpromoted
+		// follower is additionally ready only while caught up with the
+		// leader or still making progress (a stalled watermark behind a
+		// live leader means reads serve an ever-staler snapshot).
+		fol := ns.fol
+		srv := ns.Srv
+		var mu sync.Mutex
+		var lastWM uint64
+		ready := func() error {
+			if srv.Draining() {
+				return fmt.Errorf("draining")
+			}
+			if fol != nil && !fol.Promoted() {
+				wm, leader := fol.Watermark(), fol.LeaderSeq()
+				mu.Lock()
+				advanced := wm > lastWM
+				if advanced {
+					lastWM = wm
+				}
+				mu.Unlock()
+				if wm < leader && !advanced {
+					return fmt.Errorf("replication stalled: watermark %d behind leader %d and not advancing", wm, leader)
+				}
+			}
+			return nil
+		}
+		ns.Metrics, err = telemetry.ListenAndServe(cfg.MetricsAddr, ns.Srv.Telemetry(), ready)
+		if err != nil {
+			ns.Shutdown()
+			return nil, fmt.Errorf("experiments: metrics listener: %w", err)
+		}
+	}
 	return ns, nil
 }
 
@@ -693,7 +776,16 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 // in-flight commits quiesce, replies flush, and the durable store
 // writes the final checkpoint and closes.
 func (ns *NetServer) Shutdown() error {
-	err := ns.ckpt.halt()
+	// The observability plane goes first: its readiness probe reads
+	// server and follower state that the teardown below invalidates.
+	var err error
+	if ns.Metrics != nil {
+		err = ns.Metrics.Close()
+		ns.Metrics = nil
+	}
+	if herr := ns.ckpt.halt(); err == nil {
+		err = herr
+	}
 	ns.ckpt = nil
 	if derr := ns.Srv.Drain(); err == nil {
 		err = derr

@@ -88,6 +88,7 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 		// Don't even start while the lock is held — we would abort
 		// immediately on subscription.
 		s.lock.WaitUnlocked(th)
+		l.HWBegin(false)
 		ab := htm.Run(th, htm.ModeHTM, func(tx *htm.Tx) {
 			// Early subscription: a transactional read of the lock word.
 			// If the lock is taken we must not run; if it is taken later,

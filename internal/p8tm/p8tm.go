@@ -201,6 +201,7 @@ func (s *System) updateOnce(thread int, th *htm.Thread, l stats.Thread, body fun
 	w.writeSet = w.writeSet[:0]
 	w.validFail = false
 
+	l.HWBegin(true)
 	tx := th.Begin(htm.ModeROT)
 	defer func() {
 		if r := recover(); r != nil {

@@ -59,6 +59,7 @@ type Publisher struct {
 	logPath string
 	log     *wal.Log
 	subs    atomic.Int64
+	drops   atomic.Uint64
 }
 
 // NewPublisher builds a publisher over the leader's log. logPath is the
@@ -70,6 +71,11 @@ func NewPublisher(logPath string, log *wal.Log) *Publisher {
 
 // Subscribers returns the number of live streams.
 func (p *Publisher) Subscribers() int { return int(p.subs.Load()) }
+
+// Dropped returns how many subscriber streams ended on a failed write —
+// followers that went away mid-stream rather than unsubscribing by
+// closing cleanly before a frame was in flight.
+func (p *Publisher) Dropped() uint64 { return p.drops.Load() }
 
 // Stream serves one subscriber: TReplBatch frames carrying consecutive
 // records from fromSeq onward, bounded by the durable frontier, written
@@ -94,6 +100,7 @@ func (p *Publisher) Stream(w io.Writer, id, fromSeq uint64, stop func() bool) er
 		payload = wire.AppendReplBatch(payload[:0], b)
 		frame = wire.AppendFrame(frame[:0], id, wire.TReplBatch, payload)
 		if _, err := w.Write(frame); err != nil {
+			p.drops.Add(1)
 			return err
 		}
 		advertised = b.Watermark

@@ -195,6 +195,53 @@ func MarkdownController(w io.Writer, title string, recs []Record) {
 	}
 }
 
+// MarkdownTelemetry renders the server-telemetry panel for cells that
+// scraped the instrument registry over their window: the admission-wait
+// p99 and, on durable servers, the window's fsync count, fsync p99 and
+// commit-ack wait p99.
+func MarkdownTelemetry(w io.Writer, title string, recs []Record) {
+	labels, byParam := axisLabels(recs)
+	systems := systemsOf(recs)
+	axis := "threads"
+	if byParam {
+		axis = "param"
+	}
+	fmt.Fprintf(w, "**%s — server telemetry (admit-wait p99 µs; fsyncs, fsync p99 µs, ack-wait p99 µs)**\n\n", title)
+	fmt.Fprintf(w, "| %s |", axis)
+	for _, s := range systems {
+		fmt.Fprintf(w, " %s |", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "|---|%s\n", strings.Repeat("---|", len(systems)))
+	for _, label := range labels {
+		fmt.Fprintf(w, "| %s |", label)
+		for _, s := range systems {
+			r, ok := find(recs, s, label, byParam)
+			switch {
+			case !ok || (r.AdmitWaitP99Us == 0 && r.FsyncsTotal == 0):
+				fmt.Fprintf(w, " – |")
+			case r.FsyncsTotal > 0:
+				fmt.Fprintf(w, " %.0f; %d, %.0f, %.0f |",
+					r.AdmitWaitP99Us, r.FsyncsTotal, r.FsyncP99Us, r.AckWaitP99Us)
+			default:
+				fmt.Fprintf(w, " %.0f; volatile |", r.AdmitWaitP99Us)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// hasTelemetry reports whether any record carries scraped server
+// telemetry.
+func hasTelemetry(recs []Record) bool {
+	for _, r := range recs {
+		if r.AdmitWaitP99Us > 0 || r.FsyncsTotal > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // hasController reports whether any record carries admission-knob
 // fields.
 func hasController(recs []Record) bool {
@@ -266,6 +313,10 @@ func MarkdownReport(w io.Writer, rep *Report, titles map[string]string) {
 		fmt.Fprintln(w)
 		if hasLatency(recs) {
 			MarkdownLatency(w, id, recs)
+			fmt.Fprintln(w)
+		}
+		if hasTelemetry(recs) {
+			MarkdownTelemetry(w, id, recs)
 			fmt.Fprintln(w)
 		}
 		if hasController(recs) {

@@ -75,6 +75,16 @@ type Record struct {
 	LatencyP99Us float64 `json:"latency_p99_us,omitempty"`
 	BatchAvgOps  float64 `json:"batch_avg_ops,omitempty"`
 
+	// Telemetry extras scraped from the server's instrument registry over
+	// the measurement window, zero elsewhere: admission-wait p99, the
+	// window's fsync count and wall-time p99, and the commit-ack wait p99
+	// (the durability tax a client pays on top of execution). The fsync
+	// and ack fields stay zero on volatile servers.
+	AdmitWaitP99Us float64 `json:"admit_wait_p99_us,omitempty"`
+	FsyncsTotal    uint64  `json:"fsyncs_total,omitempty"`
+	FsyncP99Us     float64 `json:"fsync_p99_us,omitempty"`
+	AckWaitP99Us   float64 `json:"ack_wait_p99_us,omitempty"`
+
 	// Admission-controller extras: the server's converged (or manually
 	// fixed) admission knobs at the end of the point's window, and the
 	// p99 target the controller steered toward (zero = controller off).

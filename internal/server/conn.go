@@ -157,6 +157,7 @@ func (c *srvConn) readLoop() {
 		if err != nil {
 			return
 		}
+		c.srv.framesIn.Add(1)
 		switch t {
 		case wire.TGet, wire.TPut, wire.TDel, wire.TScan, wire.TTxn:
 			// Decode straight into a pooled task's op slice; the task (ops,
@@ -357,8 +358,17 @@ func (c *srvConn) writeLoop() {
 					werr = err
 				}
 			}
+			c.srv.framesOut.Add(1)
 		}
 		if m.t != nil {
+			// Close the lifecycle trace at the socket write: flush stage,
+			// then the slow-request check against the full span.
+			c.srv.flushHist.Observe(time.Since(m.t.tDone))
+			if th := c.srv.traceSlow; th > 0 {
+				if total := time.Since(m.t.t0); int64(total) >= th {
+					c.srv.noteSlow(m.t, total)
+				}
+			}
 			taskPool.Put(m.t)
 			c.taskDone()
 		}

@@ -35,7 +35,9 @@ package server
 import (
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +45,7 @@ import (
 	"sihtm/internal/durable"
 	"sihtm/internal/replica"
 	"sihtm/internal/stats"
+	"sihtm/internal/telemetry"
 	"sihtm/internal/tm"
 	"sihtm/internal/wire"
 	"sihtm/internal/workload/engine"
@@ -103,6 +106,18 @@ type Config struct {
 	// replies, so remote load generators can rebuild the matching Spec.
 	Scenario string
 	Scale    string
+	// Metrics, when non-nil, is the telemetry registry the server
+	// registers every instrument on; nil makes the server create a
+	// private one (readable via Telemetry()). Instruments are always
+	// registered, so the alloc pins exercise the instrumented path.
+	Metrics *telemetry.Registry
+	// TraceSlow, when positive, samples a structured log line for every
+	// request whose admission-to-socket-write lifecycle exceeds it
+	// (rate-limited to one line per 10ms so a latency collapse cannot
+	// melt the log).
+	TraceSlow time.Duration
+	// TraceLog receives slow-request lines. Default os.Stderr.
+	TraceLog io.Writer
 }
 
 // Server is a wire-protocol transaction server.
@@ -117,6 +132,22 @@ type Server struct {
 
 	batches    atomic.Uint64
 	batchedOps atomic.Uint64
+
+	// Telemetry: the registry (tel), the lifecycle stage histograms
+	// beyond hist (admission wait, per-batch exec, reply flush, batch op
+	// count), and the raw hot-path counters the registry scrapes.
+	tel          *telemetry.Registry
+	admitHist    *stats.Histogram
+	execHist     *stats.Histogram
+	flushHist    *stats.Histogram
+	batchOpsHist *stats.Histogram // dimensionless: ops per batch
+	framesIn     atomic.Uint64
+	framesOut    atomic.Uint64
+	execBusy     atomic.Int64
+	slowTraces   atomic.Uint64
+	lastSlowNs   atomic.Int64
+	traceSlow    int64 // Config.TraceSlow in ns (0 = off)
+	traceLog     io.Writer
 
 	// Adaptive admission controller state (admission.go). p99Target is
 	// the live target in nanoseconds (zero = controller off).
@@ -153,6 +184,10 @@ type shard struct {
 	// at construction — a per-batch closure literal would escape and
 	// cost one heap allocation per batch.
 	body func(tm.Ops)
+	// colT is this executor's thread view of the system's collector;
+	// exec diffs it around each Atomic to attribute attempts and abort
+	// causes to the batch (for slow-request traces).
+	colT stats.Thread
 }
 
 // task is one admitted data-plane request. Tasks are pooled: the reader
@@ -167,6 +202,21 @@ type task struct {
 	results []wire.Result
 	reply   []byte // encoded TReply frame (wire.AppendResultsFrame)
 	t0      time.Time
+
+	// Lifecycle trace, stamped by the executor and consumed by the
+	// writer: when the batch started executing (admission wait = tExec -
+	// t0) and when the reply was encoded and handed over (reply flush =
+	// socket write time - tDone). The batch fields attribute the carrying
+	// batch's hardware behaviour to the request for slow traces. All
+	// plain scalars on the pooled struct: tracing allocates nothing.
+	tExec      time.Time
+	tDone      time.Time
+	batchOps   int32
+	hwBegins   uint32
+	abCapacity uint32
+	abConflict uint32
+	abOther    uint32
+	fallbacks  uint32
 }
 
 var taskPool = sync.Pool{New: func() any { return new(task) }}
@@ -193,9 +243,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.CtrlCapacityMax = 0.02
 	}
 	s := &Server{
-		cfg:   cfg,
-		hist:  &stats.Histogram{},
-		conns: map[*srvConn]struct{}{},
+		cfg:       cfg,
+		hist:      &stats.Histogram{},
+		conns:     map[*srvConn]struct{}{},
+		traceSlow: int64(cfg.TraceSlow),
+		traceLog:  cfg.TraceLog,
+	}
+	if s.traceLog == nil {
+		s.traceLog = os.Stderr
 	}
 	s.batchMax.Store(int64(cfg.BatchMax))
 	s.admitWait.Store(int64(cfg.AdmitWait))
@@ -207,10 +262,12 @@ func New(cfg Config) (*Server, error) {
 			id:   i,
 			ch:   make(chan *task, 256),
 			sess: cfg.Backend.NewSession(),
+			colT: cfg.System.Collector().Thread(i),
 		}
 		sh.body = sh.execBody
 		s.shards = append(s.shards, sh)
 	}
+	s.registerMetrics()
 	return s, nil
 }
 
@@ -363,6 +420,28 @@ func (s *Server) statsSnapshot() wire.ServerStats {
 			Subscribers: s.pub.Subscribers(),
 		}
 	}
+	tel := &wire.TelemetryStats{
+		FramesIn:      s.framesIn.Load(),
+		FramesOut:     s.framesOut.Load(),
+		SlowTraces:    s.slowTraces.Load(),
+		AdmitWaitHist: s.admitHist.Snapshot(),
+		FlushHist:     s.flushHist.Snapshot(),
+		BatchOpsHist:  s.batchOpsHist.Snapshot(),
+	}
+	if st := s.cfg.Store; st != nil {
+		ws := st.Log().Stats()
+		tel.WalRecords = ws.Records
+		tel.WalBytes = ws.Bytes
+		tel.WalBatches = ws.Batches
+		tel.WalFsyncs = ws.Fsyncs
+		tel.FsyncHist = st.Log().FsyncHist().Snapshot()
+		tel.AckWaitHist = st.AckWaitHist().Snapshot()
+		tel.BatchRecHist = st.Log().BatchRecsHist().Snapshot()
+	}
+	if s.pub != nil {
+		tel.Subscribers = s.pub.Subscribers()
+		tel.Dropped = s.pub.Dropped()
+	}
 	return wire.ServerStats{
 		Repl:        repl,
 		System:      s.cfg.System.Name(),
@@ -379,12 +458,20 @@ func (s *Server) statsSnapshot() wire.ServerStats {
 		Batches:     s.batches.Load(),
 		BatchedOps:  s.batchedOps.Load(),
 		Hist:        s.hist.Snapshot(),
+		Telemetry:   tel,
 	}
 }
+
+// Snapshot exposes the full TStats payload in-process — what a drain
+// log or an embedding test reads without a wire round trip.
+func (s *Server) Snapshot() wire.ServerStats { return s.statsSnapshot() }
 
 // Hist exposes the per-op latency histogram (tests and in-process
 // loadgen cells read it directly).
 func (s *Server) Hist() *stats.Histogram { return s.hist }
+
+// Draining reports whether Drain has started — the readiness signal.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // run is the executor loop: admit one task (blocking), coalesce more up
 // to the batch bound — draining the queue opportunistically and, with a
@@ -451,6 +538,11 @@ func (sh *shard) run(s *Server) {
 
 // exec runs one batch as a single transaction and replies to each task.
 func (sh *shard) exec(s *Server, opsN int) {
+	tExec := time.Now()
+	for _, t := range sh.batch {
+		s.admitHist.Observe(tExec.Sub(t.t0))
+	}
+	loc0 := sh.colT.Local()
 	s.execMu.RLock()
 	if f := s.cfg.Follower; f != nil {
 		// Replica batches run under the follower's snapshot lock: replay
@@ -475,15 +567,20 @@ func (sh *shard) exec(s *Server, opsN int) {
 		}
 	}
 	sh.sess.Prepare(inserts)
+	s.execBusy.Add(1)
 	s.cfg.System.Atomic(sh.id, kind, sh.body)
+	s.execBusy.Add(-1)
 	sh.sess.Commit()
 	if f := s.cfg.Follower; f != nil {
 		f.RUnlock()
 	}
 	s.execMu.RUnlock()
 
+	locd := sh.colT.Local().Sub(loc0)
 	s.batches.Add(1)
 	s.batchedOps.Add(uint64(opsN))
+	s.execHist.Observe(time.Since(tExec))
+	s.batchOpsHist.Observe(time.Duration(opsN))
 	for _, t := range sh.batch {
 		// With a durable store attached, Atomic returned only after the
 		// batch's record was fsynced — the reply acknowledges durability.
@@ -492,6 +589,14 @@ func (sh *shard) exec(s *Server, opsN int) {
 		// inflight reference and recycles the task after the write.
 		s.hist.Observe(time.Since(t.t0))
 		t.reply = wire.AppendResultsFrame(t.reply[:0], t.id, t.results)
+		t.tExec = tExec
+		t.batchOps = int32(opsN)
+		t.hwBegins = uint32(locd.HWBeginROT + locd.HWBeginHTM)
+		t.abCapacity = uint32(locd.Aborts[stats.AbortCapacity])
+		t.abConflict = uint32(locd.Aborts[stats.AbortTransactional])
+		t.abOther = uint32(locd.Aborts[stats.AbortNonTransactional] + locd.Aborts[stats.AbortExplicit] + locd.Aborts[stats.AbortOther])
+		t.fallbacks = uint32(locd.Fallbacks)
+		t.tDone = time.Now()
 		t.c.sendTask(t)
 	}
 }

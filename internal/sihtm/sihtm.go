@@ -189,6 +189,7 @@ func (s *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 // (suspend, publish completed, resume, snapshot, safety wait, commit).
 // The caller has already announced the begin timestamp.
 func (s *System) updateOnce(thread int, th *htm.Thread, l stats.Thread, body func(tm.Ops)) (abort *htm.Abort) {
+	l.HWBegin(true)
 	tx := th.Begin(htm.ModeROT)
 	slot := &s.state[thread]
 	slot.cur.Store(tx)

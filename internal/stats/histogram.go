@@ -127,10 +127,23 @@ func (s HistogramSnapshot) Mean() time.Duration {
 // Quantile estimates the p-quantile (p in [0, 1]) by linear
 // interpolation inside the bucket holding the target rank. The estimate
 // is within one sub-bucket width of the true value (~25% relative).
+//
+// An empty snapshot (no observations — including a Sub delta over a
+// quiet window) returns the documented sentinel 0. Callers that must
+// distinguish "no data" from "genuinely ~0ns" use QuantileOK.
 func (s HistogramSnapshot) Quantile(p float64) time.Duration {
+	q, _ := s.QuantileOK(p)
+	return q
+}
+
+// QuantileOK is Quantile with an explicit validity bit: ok is false —
+// and the quantile 0 — when the snapshot holds no observations, so a
+// measurement window that saw no traffic is never mistaken for one
+// whose latencies were all zero.
+func (s HistogramSnapshot) QuantileOK(p float64) (q time.Duration, ok bool) {
 	total := s.Count()
 	if total == 0 {
-		return 0
+		return 0, false
 	}
 	if p < 0 {
 		p = 0
@@ -148,7 +161,7 @@ func (s HistogramSnapshot) Quantile(p float64) time.Duration {
 		if next >= target {
 			lo, hi := histBounds(slot)
 			frac := (target - cum) / float64(c)
-			return time.Duration(float64(lo) + frac*float64(hi-lo))
+			return time.Duration(float64(lo) + frac*float64(hi-lo)), true
 		}
 		cum = next
 	}
@@ -156,8 +169,18 @@ func (s HistogramSnapshot) Quantile(p float64) time.Duration {
 	for slot := len(s.Counts) - 1; slot >= 0; slot-- {
 		if s.Counts[slot] > 0 {
 			_, hi := histBounds(slot)
-			return time.Duration(hi)
+			return time.Duration(hi), true
 		}
 	}
-	return 0
+	return 0, false
 }
+
+// NumHistogramBuckets is the bucket count of every Histogram (and of
+// the Counts slice of every non-empty snapshot).
+const NumHistogramBuckets = histSlots
+
+// HistogramBucketBounds returns the [lo, hi) nanosecond range of one
+// bucket slot, exported for renderers (the telemetry registry's
+// Prometheus text format) that must translate bucket counts back into
+// value boundaries.
+func HistogramBucketBounds(slot int) (loNs, hiNs uint64) { return histBounds(slot) }

@@ -131,3 +131,57 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("Count = %d, want %d", got, workers*each)
 	}
 }
+
+// QuantileOK distinguishes "no data" from "all observations ~0": the
+// empty cases the windowed Sub machinery produces routinely.
+func TestQuantileEmptyAndSingle(t *testing.T) {
+	var h Histogram
+	empty := h.Snapshot()
+	if q, ok := empty.QuantileOK(0.99); ok || q != 0 {
+		t.Fatalf("empty QuantileOK = (%v, %v), want (0, false)", q, ok)
+	}
+	if q := empty.Quantile(0.99); q != 0 {
+		t.Fatalf("empty Quantile = %v, want sentinel 0", q)
+	}
+
+	h.Observe(5 * time.Microsecond)
+	one := h.Snapshot()
+	for _, p := range []float64{0, 0.5, 0.99, 1} {
+		q, ok := one.QuantileOK(p)
+		if !ok {
+			t.Fatalf("single-sample QuantileOK(%v) not ok", p)
+		}
+		// The sample sits in one bucket; every quantile must land inside
+		// that bucket's ~25% relative error band.
+		if q < 4*time.Microsecond || q > 7*time.Microsecond {
+			t.Fatalf("single-sample QuantileOK(%v) = %v, want ~5µs", p, q)
+		}
+	}
+
+	// A genuinely-zero observation is ok=true with quantile 0 — distinct
+	// from the empty snapshot.
+	var hz Histogram
+	hz.Observe(0)
+	if q, ok := hz.Snapshot().QuantileOK(0.5); !ok || q != 0 {
+		t.Fatalf("zero-valued sample QuantileOK = (%v, %v), want (0, true)", q, ok)
+	}
+}
+
+// Sub-ing a snapshot down to zero observations (a quiet measurement
+// window) must report not-ok, not a fabricated bucket value.
+func TestQuantileSubToZero(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	s := h.Snapshot()
+	win := s.Sub(s)
+	if n := win.Count(); n != 0 {
+		t.Fatalf("self-Sub count = %d, want 0", n)
+	}
+	if q, ok := win.QuantileOK(0.99); ok || q != 0 {
+		t.Fatalf("self-Sub QuantileOK = (%v, %v), want (0, false)", q, ok)
+	}
+	if m := win.Mean(); m != 0 {
+		t.Fatalf("self-Sub Mean = %v, want 0", m)
+	}
+}

@@ -62,14 +62,16 @@ func (k AbortKind) String() string {
 
 // threadSlot holds one thread's counters, padded to two cache lines so
 // adjacent threads never share a line. The counter fields occupy
-// (2+numAbortKinds+2)*8 = 72 bytes; the padding rounds the slot up to 256.
+// (2+numAbortKinds+4)*8 = 88 bytes; the padding rounds the slot up to 256.
 type threadSlot struct {
 	commits   atomic.Uint64
 	commitsRO atomic.Uint64 // subset of commits that took a read-only path
 	aborts    [numAbortKinds]atomic.Uint64
 	fallbacks atomic.Uint64 // commits that went through the SGL path
 	waitSpins atomic.Uint64 // safety-wait / quiescence spin iterations
-	_         [256 - (4+numAbortKinds)*8]byte
+	hwROT     atomic.Uint64 // hardware transaction begins in ROT mode
+	hwHTM     atomic.Uint64 // hardware transaction begins in regular HTM mode
+	_         [256 - (6+numAbortKinds)*8]byte
 }
 
 // Collector accumulates per-thread counters. Create one per experiment run
@@ -123,13 +125,45 @@ func (t Thread) Fallback() { t.slot.fallbacks.Add(1) }
 // WaitSpins adds n quiescence/safety-wait spin iterations.
 func (t Thread) WaitSpins(n uint64) { t.slot.waitSpins.Add(n) }
 
+// HWBegin records one hardware transaction begin: rot distinguishes
+// POWER rollback-only transactions from regular HTM mode. Software-only
+// systems (sgl, silo) never call it and report zero through the same
+// telemetry families, which is itself informative.
+func (t Thread) HWBegin(rot bool) {
+	if rot {
+		t.slot.hwROT.Add(1)
+	} else {
+		t.slot.hwHTM.Add(1)
+	}
+}
+
+// Local snapshots this thread's own slot. The server's batch executor
+// diffs it around one Atomic call to attribute abort causes to a single
+// batch for slow-request traces — summing the whole Collector there
+// would charge every shard's aborts to every batch.
+func (t Thread) Local() Stats {
+	var s Stats
+	s.Commits = t.slot.commits.Load()
+	s.CommitsRO = t.slot.commitsRO.Load()
+	for k := 0; k < NumAbortKinds; k++ {
+		s.Aborts[k] = t.slot.aborts[k].Load()
+	}
+	s.Fallbacks = t.slot.fallbacks.Load()
+	s.WaitSpins = t.slot.waitSpins.Load()
+	s.HWBeginROT = t.slot.hwROT.Load()
+	s.HWBeginHTM = t.slot.hwHTM.Load()
+	return s
+}
+
 // Stats is an immutable snapshot of a Collector (or a delta of two).
 type Stats struct {
-	Commits   uint64
-	CommitsRO uint64
-	Aborts    [NumAbortKinds]uint64
-	Fallbacks uint64
-	WaitSpins uint64
+	Commits    uint64
+	CommitsRO  uint64
+	Aborts     [NumAbortKinds]uint64
+	Fallbacks  uint64
+	WaitSpins  uint64
+	HWBeginROT uint64 `json:",omitempty"`
+	HWBeginHTM uint64 `json:",omitempty"`
 }
 
 // Snapshot sums all thread slots.
@@ -144,6 +178,8 @@ func (c *Collector) Snapshot() Stats {
 		}
 		s.Fallbacks += sl.fallbacks.Load()
 		s.WaitSpins += sl.waitSpins.Load()
+		s.HWBeginROT += sl.hwROT.Load()
+		s.HWBeginHTM += sl.hwHTM.Load()
 	}
 	return s
 }
@@ -152,10 +188,12 @@ func (c *Collector) Snapshot() Stats {
 // warm-up activity.
 func (s Stats) Sub(earlier Stats) Stats {
 	d := Stats{
-		Commits:   s.Commits - earlier.Commits,
-		CommitsRO: s.CommitsRO - earlier.CommitsRO,
-		Fallbacks: s.Fallbacks - earlier.Fallbacks,
-		WaitSpins: s.WaitSpins - earlier.WaitSpins,
+		Commits:    s.Commits - earlier.Commits,
+		CommitsRO:  s.CommitsRO - earlier.CommitsRO,
+		Fallbacks:  s.Fallbacks - earlier.Fallbacks,
+		WaitSpins:  s.WaitSpins - earlier.WaitSpins,
+		HWBeginROT: s.HWBeginROT - earlier.HWBeginROT,
+		HWBeginHTM: s.HWBeginHTM - earlier.HWBeginHTM,
 	}
 	for k := 0; k < NumAbortKinds; k++ {
 		d.Aborts[k] = s.Aborts[k] - earlier.Aborts[k]

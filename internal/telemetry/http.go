@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// NewHandler builds the observability mux:
+//
+//	/metrics        Prometheus text exposition of reg
+//	/healthz        200 while the process is up (liveness)
+//	/readyz         200 while ready() returns nil (readiness); the
+//	                server wires "admission open" and, on followers,
+//	                "watermark advancing" into it
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// ready may be nil, in which case /readyz behaves like /healthz.
+func NewHandler(reg *Registry, ready func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready != nil {
+			if err := ready(); err != nil {
+				http.Error(w, "not ready: "+err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability HTTP endpoint.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr (use port 0 for an ephemeral port in tests)
+// and serves NewHandler(reg, ready) in a background goroutine.
+func ListenAndServe(addr string, reg *Registry, ready func() error) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		lis: lis,
+		// No WriteTimeout: pprof profile/trace requests legitimately
+		// stream for their ?seconds= duration.
+		srv: &http.Server{Handler: NewHandler(reg, ready), ReadHeaderTimeout: 5 * time.Second},
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:9464").
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and any idle connections.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,8 @@
+//go:build !race
+
+package telemetry_test
+
+// raceEnabled gates the numeric alloc-pin assertions: the race detector
+// instruments allocations, so under -race the pins still exercise the
+// full path but skip the exact-zero check.
+const raceEnabled = false

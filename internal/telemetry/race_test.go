@@ -1,0 +1,6 @@
+//go:build race
+
+package telemetry_test
+
+// raceEnabled gates the numeric alloc-pin assertions; see norace_test.go.
+const raceEnabled = true

@@ -1,0 +1,74 @@
+package tm
+
+import (
+	"sihtm/internal/stats"
+	"sihtm/internal/telemetry"
+)
+
+// RegisterMetrics exposes a System's abort accounting as one uniform
+// set of telemetry families, labeled by system name. Every system —
+// si-htm, htm, p8tm, sgl, silo — funnels through the same
+// stats.Collector seam, so the families are identical across systems:
+// software-only systems simply report zero hardware begins, which is
+// exactly the signal an operator uses to tell an SGL-serialized run
+// from a hardware-backed one.
+//
+// All series are scrape-time functions over the collector's padded
+// per-thread slots: registering metrics adds zero cost to the
+// transaction hot path.
+func RegisterMetrics(reg *telemetry.Registry, sys System) {
+	col := sys.Collector()
+	name := sys.Name()
+	sysL := telemetry.L("system", name)
+
+	reg.MustCounterFunc("sihtm_tm_commits_total",
+		"Committed transactions by execution path.",
+		func() uint64 { s := col.Snapshot(); return s.Commits - s.CommitsRO },
+		sysL, telemetry.L("path", "update"))
+	reg.MustCounterFunc("sihtm_tm_commits_total", "",
+		func() uint64 { return col.Snapshot().CommitsRO },
+		sysL, telemetry.L("path", "read_only"))
+
+	for k := 0; k < stats.NumAbortKinds; k++ {
+		kind := stats.AbortKind(k)
+		reg.MustCounterFunc("sihtm_tm_aborts_total",
+			"Aborted transaction attempts by cause (the paper's abort taxonomy).",
+			func() uint64 { return col.Snapshot().Aborts[kind] },
+			sysL, telemetry.L("cause", causeLabel(kind)))
+	}
+
+	reg.MustCounterFunc("sihtm_tm_fallbacks_total",
+		"Commits executed under the single-global-lock fallback path.",
+		func() uint64 { return col.Snapshot().Fallbacks },
+		sysL)
+	reg.MustCounterFunc("sihtm_tm_hw_begins_total",
+		"Hardware transaction begins by mode (POWER rollback-only vs regular HTM).",
+		func() uint64 { return col.Snapshot().HWBeginROT },
+		sysL, telemetry.L("mode", "rot"))
+	reg.MustCounterFunc("sihtm_tm_hw_begins_total", "",
+		func() uint64 { return col.Snapshot().HWBeginHTM },
+		sysL, telemetry.L("mode", "htm"))
+	reg.MustCounterFunc("sihtm_tm_wait_spins_total",
+		"Quiescence/safety-wait spin iterations.",
+		func() uint64 { return col.Snapshot().WaitSpins },
+		sysL)
+}
+
+// causeLabel maps an AbortKind to its metric label value: the String()
+// form with label-safe underscores.
+func causeLabel(k stats.AbortKind) string {
+	switch k {
+	case stats.AbortTransactional:
+		return "conflict"
+	case stats.AbortNonTransactional:
+		return "non_transactional"
+	case stats.AbortCapacity:
+		return "capacity"
+	case stats.AbortExplicit:
+		return "explicit"
+	case stats.AbortOther:
+		return "other"
+	default:
+		return "unknown"
+	}
+}

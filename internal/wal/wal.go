@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"sihtm/internal/footprint"
+	"sihtm/internal/stats"
 )
 
 // Config tunes a Log.
@@ -60,8 +61,9 @@ type Stats struct {
 
 // Log is an append-only redo log over one file.
 type Log struct {
-	mu      sync.Mutex // guards buf, nextSeq
+	mu      sync.Mutex // guards buf, bufRecs, nextSeq
 	buf     []byte     // encoded records not yet handed to the flusher
+	bufRecs uint64     // records in buf (group-commit batch in progress)
 	nextSeq uint64
 
 	f       *os.File
@@ -76,6 +78,13 @@ type Log struct {
 	bytes   atomic.Uint64
 	batches atomic.Uint64
 	fsyncs  atomic.Uint64
+
+	// fsyncHist observes the wall time of each fsync; batchRecsHist
+	// observes records-per-written-batch (dimensionless, one count per
+	// flush that had data). Both are lock-free and cost nothing until
+	// a telemetry registry scrapes them.
+	fsyncHist     stats.Histogram
+	batchRecsHist stats.Histogram
 
 	window time.Duration
 	kick   chan struct{} // wakes the daemon when Window == 0
@@ -127,6 +136,7 @@ func (l *Log) Append(entries []footprint.Entry) uint64 {
 	before := len(l.buf)
 	l.buf = appendRecord(l.buf, seq, entries)
 	grew := len(l.buf) - before
+	l.bufRecs++
 	l.mu.Unlock()
 
 	l.records.Add(1)
@@ -177,8 +187,10 @@ func (l *Log) flush() error {
 
 	l.mu.Lock()
 	pending := l.buf
+	recs := l.bufRecs
 	hi := l.nextSeq - 1
 	l.buf = l.scratch[:0] // hand the appenders the (empty) swap buffer
+	l.bufRecs = 0
 	l.mu.Unlock()
 	l.scratch = pending[:0] // next flush swaps back
 
@@ -187,10 +199,13 @@ func (l *Log) flush() error {
 			return fmt.Errorf("wal: write: %w", err)
 		}
 		l.batches.Add(1)
+		l.batchRecsHist.Observe(time.Duration(recs))
 	}
+	t0 := time.Now()
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
+	l.fsyncHist.Observe(time.Since(t0))
 	l.fsyncs.Add(1)
 
 	l.durMu.Lock()
@@ -261,4 +276,20 @@ func (l *Log) Stats() Stats {
 		Batches: l.batches.Load(),
 		Fsyncs:  l.fsyncs.Load(),
 	}
+}
+
+// FsyncHist returns the live fsync-latency histogram for telemetry
+// registration. Callers must only snapshot it.
+func (l *Log) FsyncHist() *stats.Histogram { return &l.fsyncHist }
+
+// BatchRecsHist returns the records-per-group-commit-batch histogram
+// (dimensionless: Observe'd as time.Duration(records)).
+func (l *Log) BatchRecsHist() *stats.Histogram { return &l.batchRecsHist }
+
+// PendingBytes returns the size of the append buffer awaiting the next
+// flush — the WAL's queue depth as seen by the group-commit daemon.
+func (l *Log) PendingBytes() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
 }

@@ -279,6 +279,40 @@ type ServerStats struct {
 	// Hist is the per-op service-latency histogram (admission to reply
 	// encode).
 	Hist stats.HistogramSnapshot `json:"hist"`
+	// Telemetry carries the deep-telemetry counters PR 8 added (nil from
+	// servers predating it). Clients difference two snapshots the same
+	// way they difference Stats and Hist.
+	Telemetry *TelemetryStats `json:"telemetry,omitempty"`
+}
+
+// TelemetryStats is the deep-telemetry slice of a TStats reply: the
+// same counters the /metrics endpoint scrapes, shipped through the wire
+// control plane so load generators and registry cells can fold them
+// into BENCH records without an HTTP round trip.
+type TelemetryStats struct {
+	// FramesIn and FramesOut count wire frames across all connections.
+	FramesIn  uint64 `json:"frames_in"`
+	FramesOut uint64 `json:"frames_out"`
+	// SlowTraces counts requests that exceeded the slow-trace threshold.
+	SlowTraces uint64 `json:"slow_traces,omitempty"`
+	// AdmitWaitHist is the admission-wait stage histogram (arrival to
+	// batch execution start); FlushHist the reply-flush stage (reply
+	// encoded to socket write); BatchOpsHist the per-batch op-count
+	// distribution (dimensionless buckets).
+	AdmitWaitHist stats.HistogramSnapshot `json:"admit_wait_hist"`
+	FlushHist     stats.HistogramSnapshot `json:"flush_hist"`
+	BatchOpsHist  stats.HistogramSnapshot `json:"batch_ops_hist"`
+	// WAL counters and histograms (zero/empty on non-durable servers).
+	WalRecords   uint64                  `json:"wal_records,omitempty"`
+	WalBytes     uint64                  `json:"wal_bytes,omitempty"`
+	WalBatches   uint64                  `json:"wal_batches,omitempty"`
+	WalFsyncs    uint64                  `json:"wal_fsyncs,omitempty"`
+	FsyncHist    stats.HistogramSnapshot `json:"fsync_hist,omitzero"`
+	AckWaitHist  stats.HistogramSnapshot `json:"ack_wait_hist,omitzero"`
+	BatchRecHist stats.HistogramSnapshot `json:"batch_rec_hist,omitzero"`
+	// Subscribers/Dropped describe the leader's replication streams.
+	Subscribers int    `json:"subscribers,omitempty"`
+	Dropped     uint64 `json:"dropped_subscribers,omitempty"`
 }
 
 // EncodeJSON marshals a control-plane payload (Ctrl, ServerStats).
