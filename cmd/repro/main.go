@@ -62,6 +62,8 @@ func main() {
 		err = cmdLoadgen(os.Args[2:])
 	case "promote":
 		err = cmdPromote(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -90,6 +92,7 @@ commands:
   serve                     run the networked transaction server (SIGTERM drains)
   loadgen                   drive the net-* cells against a live server, write results
   promote                   promote a follower after leader death (zero acked loss)
+  trace                     merge /debug/traces rings into a Chrome trace_event file
   compare                   compare two result files for regressions
 
 serve flags:
@@ -112,12 +115,19 @@ serve flags:
 promote flags:
   --addr=HOST:PORT          follower address to promote (required)
 
+trace flags + args:
+  --out=FILE                Chrome trace_event output (default trace.json; '-' = stdout)
+  --trace=ID                restrict to one trace id (decimal)
+  NODE=URL-or-FILE ...      sources: per-node /debug/traces URLs or saved JSONL files
+                            (e.g. leader=http://127.0.0.1:9464/debug/traces)
+
 loadgen flags:
   --addr=HOST:PORT          server address (required)
   --id=a,b                  net entries (default: all, incl. net-connscale)
   --scale=ci|quick|paper    client scale: conn/thread ladders + run windows (default ci)
   --conns=N                 open-loop mode: drive N connections at --arrival instead of --id
   --arrival=poisson:RATE    open-loop arrival process, total ops/sec (or uniform:RATE)
+  --trace-every=N           open-loop mode: stamp every n-th request with a trace id (1 = all)
   --out=FILE                JSON results (default BENCH_repro.json)
   --md=FILE                 markdown tables ('-' = stdout, '' = none; default BENCH_repro.md)
 

@@ -24,17 +24,17 @@ import (
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		addr      = fs.String("addr", "127.0.0.1:7654", "listen address")
-		scenario  = fs.String("scenario", "ycsb-a", "hosted workload build: ycsb-a|ycsb-b|ycsb-c")
-		system    = fs.String("system", "si-htm", "concurrency control")
-		scaleName = fs.String("scale", "ci", "workload sizing preset")
-		shards    = fs.Int("shards", 4, "executor goroutines (transaction threads)")
-		batch     = fs.Int("batch", 32, "admission bound: max ops per transaction")
-		admitWait = fs.Duration("admit-wait", 0, "admission grace: wait this long for a fuller batch")
-		p99Target = fs.Duration("p99-target", 0, "adaptive admission control: steer batch/grace toward this p99 service latency")
-		dir       = fs.String("durable-dir", "", "serve durably: WAL + checkpoints + meta.json in DIR")
-		window    = fs.Duration("window", time.Millisecond, "durable group-commit fsync window")
-		ckptEvery = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
+		addr        = fs.String("addr", "127.0.0.1:7654", "listen address")
+		scenario    = fs.String("scenario", "ycsb-a", "hosted workload build: ycsb-a|ycsb-b|ycsb-c")
+		system      = fs.String("system", "si-htm", "concurrency control")
+		scaleName   = fs.String("scale", "ci", "workload sizing preset")
+		shards      = fs.Int("shards", 4, "executor goroutines (transaction threads)")
+		batch       = fs.Int("batch", 32, "admission bound: max ops per transaction")
+		admitWait   = fs.Duration("admit-wait", 0, "admission grace: wait this long for a fuller batch")
+		p99Target   = fs.Duration("p99-target", 0, "adaptive admission control: steer batch/grace toward this p99 service latency")
+		dir         = fs.String("durable-dir", "", "serve durably: WAL + checkpoints + meta.json in DIR")
+		window      = fs.Duration("window", time.Millisecond, "durable group-commit fsync window")
+		ckptEvery   = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
 		follow      = fs.String("follow", "", "serve as a read replica of the durable leader at ADDR")
 		leaderLog   = fs.String("leader-log", "", "shared-storage path of the leader's wal.log (promotion catch-up)")
 		metricsAddr = fs.String("metrics-addr", "", "observability address: /metrics, /healthz, /readyz, /debug/pprof")
@@ -186,6 +186,7 @@ func cmdLoadgen(args []string) error {
 		scaleName = fs.String("scale", "ci", "client scale preset (ladder caps, run windows)")
 		conns     = fs.Int("conns", 0, "open-loop mode: drive this many connections at --arrival")
 		arrival   = fs.String("arrival", "poisson:20000", "open-loop arrival process: poisson:RATE or uniform:RATE (total ops/sec)")
+		traceEv   = fs.Int("trace-every", 0, "open-loop mode: stamp every n-th request with a trace id (1 = all, 0 = off)")
 		out       = fs.String("out", "BENCH_repro.json", "JSON output path")
 		md        = fs.String("md", "BENCH_repro.md", "markdown output path ('-' = stdout, '' = none)")
 		quiet     = fs.Bool("quiet", false, "suppress per-point progress")
@@ -214,7 +215,7 @@ func cmdLoadgen(args []string) error {
 		if err != nil {
 			return err
 		}
-		r, err := experiments.RunOpenLoop(*addr, *conns, a, sc)
+		r, err := experiments.RunOpenLoop(*addr, *conns, a, sc, *traceEv)
 		if err != nil {
 			return err
 		}

@@ -61,8 +61,9 @@ type Config struct {
 // threadSeq is a per-thread last-assigned-sequence slot, padded so
 // worker threads do not false-share.
 type threadSeq struct {
-	seq uint64 // owned by the thread between PreCommit and ack
-	_   [120]byte
+	seq   uint64 // owned by the thread between PreCommit and ack
+	ackNs int64  // last Atomic's fsync-acknowledgement wait (WaitAck mode)
+	_     [112]byte
 }
 
 // Store is the durability manager for one heap: it implements
@@ -153,6 +154,18 @@ func (s *Store) WaitThread(thread int) {
 // spent blocked on fsync acknowledgement) for telemetry registration.
 func (s *Store) AckWaitHist() *stats.Histogram { return &s.ackHist }
 
+// ThreadSeq returns the sequence number the thread's last committed
+// update transaction was assigned (zero before the first). Only the
+// thread itself may call this between its own Atomics — the slot is
+// thread-owned, exactly like the commit hook writes it. The server's
+// executor uses it to tag a request's trace with its commit sequence.
+func (s *Store) ThreadSeq(thread int) uint64 { return s.last[thread].seq }
+
+// LastAckWait returns how long the thread's last WaitAck'd Atomic
+// blocked on fsync acknowledgement, in nanoseconds. Same thread-owned
+// contract as ThreadSeq.
+func (s *Store) LastAckWait(thread int) int64 { return s.last[thread].ackNs }
+
 // LastSeq returns the highest sequence number assigned so far.
 func (s *Store) LastSeq() uint64 { return s.log.LastSeq() }
 
@@ -204,7 +217,9 @@ func (d *System) Atomic(thread int, kind tm.Kind, body func(tm.Ops)) {
 	if d.store.cfg.WaitAck {
 		t0 := time.Now()
 		d.store.WaitThread(thread)
-		d.store.ackHist.Observe(time.Since(t0))
+		wait := time.Since(t0)
+		d.store.last[thread].ackNs = int64(wait)
+		d.store.ackHist.Observe(wait)
 	}
 }
 

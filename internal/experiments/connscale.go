@@ -100,7 +100,7 @@ func connScaleCtrlInterval(sc Scale) time.Duration {
 // control-plane connection to the same server; sysLabel labels the
 // record's system column.
 func runOpenLoopPoint(e Entry, rb *engine.RemoteBackend, addr, sysLabel string,
-	keys, conns int, arrival loadgen.Arrival, sc Scale) (results.Record, error) {
+	keys, conns int, arrival loadgen.Arrival, sc Scale, traceEvery int) (results.Record, error) {
 	var sv0, sv1 wire.ServerStats
 	var werr error
 	res, err := loadgen.Run(loadgen.Config{
@@ -111,6 +111,10 @@ func runOpenLoopPoint(e Entry, rb *engine.RemoteBackend, addr, sysLabel string,
 		Warmup:  sc.Warmup,
 		Measure: sc.Measure,
 		Seed:    uint64(conns)*2654435761 + 1,
+		// Sampled trace ids ship to the server so its ring fills for
+		// /debug/traces; no client ring here — `repro trace` merges the
+		// server-side rings.
+		TraceEvery: traceEvery,
 		AtWindow: func(start bool) {
 			st, serr := rb.Stats()
 			if serr != nil {
@@ -236,7 +240,7 @@ func runConnScaleLadder(e Entry, addr, system string, keys int, sc Scale,
 			if ctrlOn {
 				label += "+ctrl"
 			}
-			r, err := runOpenLoopPoint(e, rb, addr, label, keys, conns, arrival, sc)
+			r, err := runOpenLoopPoint(e, rb, addr, label, keys, conns, arrival, sc, 0)
 			if err != nil {
 				return fmt.Errorf("net-connscale %s/conns=%d: %w", label, conns, err)
 			}
@@ -296,7 +300,7 @@ func connScaleEntry() Entry {
 // RunOpenLoop drives a single open-loop point against a live external
 // server (the `repro loadgen --conns --arrival` path), leaving the
 // server's admission knobs untouched.
-func RunOpenLoop(addr string, conns int, arrival loadgen.Arrival, sc Scale) (results.Record, error) {
+func RunOpenLoop(addr string, conns int, arrival loadgen.Arrival, sc Scale, traceEvery int) (results.Record, error) {
 	sc = sc.withDefaults()
 	fail := func(err error) (results.Record, error) { return results.Record{}, err }
 	rb, err := engine.DialRemote(addr, 1)
@@ -325,5 +329,5 @@ func RunOpenLoop(addr string, conns int, arrival loadgen.Arrival, sc Scale) (res
 	if st.P99TargetUs > 0 {
 		label += "+ctrl"
 	}
-	return runOpenLoopPoint(connScaleEntry(), rb, addr, label, keys, conns, arrival, sc)
+	return runOpenLoopPoint(connScaleEntry(), rb, addr, label, keys, conns, arrival, sc, traceEvery)
 }

@@ -19,8 +19,8 @@ func quickScale() Scale {
 
 func TestRegistryIsComplete(t *testing.T) {
 	entries := Registry()
-	if len(entries) != 31 { // 10 figure panels + 6 scenarios + 3 durable + 5 net + 2 repl + 5 ablations
-		t.Fatalf("Registry() = %d entries, want 31", len(entries))
+	if len(entries) != 32 { // 10 figure panels + 6 scenarios + 3 durable + 6 net + 2 repl + 5 ablations
+		t.Fatalf("Registry() = %d entries, want 32", len(entries))
 	}
 	seen := map[string]bool{}
 	figures := map[int]bool{}
@@ -88,7 +88,7 @@ func TestLookupAndSelect(t *testing.T) {
 		sel  string
 		want int
 	}{
-		{"all", 31},
+		{"all", 32},
 		{"figures", 10},
 		{"scenarios", 6},
 		{"ablations", 5},
@@ -100,11 +100,11 @@ func TestLookupAndSelect(t *testing.T) {
 		{"vacation", 2},
 		{"zipf", 1},
 		{"durable", 3},
-		{"net", 5},
+		{"net", 6},
 		{"repl", 2},
 		{"fig6,fig9-low,capacity", 4},
 		{"ycsb,vacation,zipf", 6},
-		{"scenarios,durable,net", 14},
+		{"scenarios,durable,net", 15},
 	}
 	for _, c := range cases {
 		got, err := Select(c.sel)

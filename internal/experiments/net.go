@@ -18,6 +18,7 @@ import (
 	"sihtm/internal/stats"
 	"sihtm/internal/telemetry"
 	"sihtm/internal/topology"
+	"sihtm/internal/trace"
 	"sihtm/internal/wire"
 	"sihtm/internal/workload/engine"
 	"sihtm/internal/workload/ycsb"
@@ -522,7 +523,7 @@ func netDurableEntry() Entry {
 // netEntries builds the networked scenario entries in presentation
 // order.
 func netEntries() []Entry {
-	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry(), netObserveEntry()}
+	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry(), netObserveEntry(), netTraceEntry()}
 }
 
 // NetEntryIDs lists the networked registry entries `repro loadgen` can
@@ -762,7 +763,8 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 			}
 			return nil
 		}
-		ns.Metrics, err = telemetry.ListenAndServe(cfg.MetricsAddr, ns.Srv.Telemetry(), ready)
+		ns.Metrics, err = telemetry.ListenAndServe(cfg.MetricsAddr, ns.Srv.Telemetry(), ready,
+			telemetry.Extra{Path: "/debug/traces", Handler: trace.Handler(ns.Srv.TraceRing())})
 		if err != nil {
 			ns.Shutdown()
 			return nil, fmt.Errorf("experiments: metrics listener: %w", err)

@@ -8,6 +8,7 @@ import (
 	"net"
 	"time"
 
+	"sihtm/internal/trace"
 	"sihtm/internal/wire"
 )
 
@@ -95,7 +96,14 @@ func (c *loadConn) sendLoop() {
 		} else {
 			ops[0] = wire.Op{Kind: wire.OpRMW, Key: key, Arg: 1}
 		}
-		buf = wire.AppendOpsFrame(buf[:0], uint64(sched), ops[:])
+		// Sampled requests carry a trace id in the frame extension; the
+		// request id stays the scheduled send time, so CO-safe latency
+		// accounting and tracing compose.
+		var tr uint64
+		if c.g.sampler.Sample() {
+			tr = c.g.ids.Next()
+		}
+		buf = wire.AppendOpsFrameT(buf[:0], uint64(sched), tr, ops[:])
 		if _, err := c.bw.Write(buf); err != nil {
 			c.g.fail(err)
 			return
@@ -110,11 +118,13 @@ func (c *loadConn) sendLoop() {
 }
 
 // recvLoop demultiplexes nothing: every reply's id is its request's
-// scheduled send time, so latency is now − id directly.
+// scheduled send time, so latency is now − id directly. The server
+// echoes the trace extension, so a traced reply closes its KClient span
+// here with no per-request bookkeeping either.
 func (c *loadConn) recvLoop() {
 	var buf []byte
 	for {
-		id, t, _, nbuf, err := wire.ReadFrame(c.nc, buf)
+		id, t, _, tr, _, nbuf, err := wire.ReadFrameT(c.nc, buf)
 		if err != nil {
 			if !c.g.stopped.Load() && !errors.Is(err, io.EOF) {
 				c.g.fail(err)
@@ -124,8 +134,17 @@ func (c *loadConn) recvLoop() {
 		buf = nbuf
 		switch t {
 		case wire.TReply:
-			c.g.hist.Observe(time.Since(c.g.epoch) - time.Duration(id))
+			lat := time.Since(c.g.epoch) - time.Duration(id)
+			c.g.hist.Observe(lat)
 			c.g.replies.Add(1)
+			if tr != 0 && c.g.ring != nil {
+				c.g.ring.Add(trace.Span{
+					Trace: tr,
+					Kind:  trace.KClient,
+					Start: c.g.epoch.Add(time.Duration(id)).UnixNano(),
+					Dur:   int64(lat),
+				})
+			}
 		case wire.TErr:
 			c.g.errs.Add(1)
 		}

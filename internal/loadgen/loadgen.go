@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"sihtm/internal/stats"
+	"sihtm/internal/trace"
 )
 
 // Arrival is the open-loop arrival process: Rate operations per second
@@ -86,6 +87,16 @@ type Config struct {
 	// caller can snapshot server-side stats over exactly the client's
 	// window.
 	AtWindow func(start bool)
+	// TraceEvery, when positive, stamps every n-th request with a fresh
+	// trace id (head-based sampling; 1 traces everything). The id rides
+	// the frame's trace extension — the request id keeps carrying the
+	// scheduled send time, so coordinated-omission accounting is
+	// untouched.
+	TraceEvery int
+	// TraceRing, when set alongside TraceEvery, receives one KClient
+	// span per traced reply: the client-observed request latency under
+	// the same trace id the server's stage spans carry.
+	TraceRing *trace.Ring
 }
 
 // Result is one run's measurement, all counters restricted to the
@@ -118,6 +129,13 @@ type gen struct {
 	cfg   Config
 	epoch time.Time
 	stop  chan struct{}
+
+	// sampler/ids drive head-based trace sampling (nil when TraceEvery
+	// is zero); ring receives client spans (may be nil even when
+	// sampling — ids still ship so the server traces its side).
+	sampler *trace.Sampler
+	ids     *trace.IDGen
+	ring    *trace.Ring
 
 	hist    stats.Histogram
 	sent    atomic.Uint64
@@ -173,6 +191,11 @@ func Run(cfg Config) (Result, error) {
 	runtime.GC()
 
 	g := &gen{cfg: cfg, stop: make(chan struct{}), epoch: time.Now()}
+	if cfg.TraceEvery > 0 {
+		g.sampler = trace.NewSampler(cfg.TraceEvery)
+		g.ids = trace.NewIDGen(cfg.Seed ^ uint64(g.epoch.UnixNano()))
+		g.ring = cfg.TraceRing
+	}
 	var wg sync.WaitGroup
 	for i, nc := range conns {
 		wg.Add(2)

@@ -9,6 +9,7 @@ import (
 
 	"sihtm/internal/footprint"
 	"sihtm/internal/memsim"
+	"sihtm/internal/trace"
 	"sihtm/internal/wal"
 	"sihtm/internal/wire"
 )
@@ -59,6 +60,12 @@ type Follower struct {
 	promoted   atomic.Bool
 	reconnects atomic.Uint64
 	applied    atomic.Uint64
+
+	// traceRing, when set, receives one KReplApply span per applied
+	// traced record — the replication leg of an end-to-end trace.
+	// Records skipped by the idempotent resume overlap emit nothing:
+	// a reconnect must never duplicate a span.
+	traceRing atomic.Pointer[trace.Ring]
 
 	startOnce sync.Once
 	stopOnce  sync.Once
@@ -137,6 +144,11 @@ func (f *Follower) Applied() uint64 { return f.applied.Load() }
 
 // Promoted reports whether the follower has been promoted.
 func (f *Follower) Promoted() bool { return f.promoted.Load() }
+
+// SetTraceRing attaches a span ring: every subsequently applied stream
+// record that carries a trace id records a KReplApply span into it.
+// Nil detaches.
+func (f *Follower) SetTraceRing(r *trace.Ring) { f.traceRing.Store(r) }
 
 // RLock / RUnlock bracket one snapshot read transaction.
 func (f *Follower) RLock()   { f.mu.RLock() }
@@ -262,16 +274,17 @@ func (f *Follower) follow(conn net.Conn) error {
 		conn.SetReadDeadline(time.Now().Add(f.cfg.ReadTimeout))
 		var (
 			t       wire.Type
+			flags   byte
 			payload []byte
 			err     error
 		)
-		_, t, payload, buf, err = wire.ReadFrame(conn, buf)
+		_, t, flags, _, payload, buf, err = wire.ReadFrameT(conn, buf)
 		if err != nil {
 			return err
 		}
 		switch t {
 		case wire.TReplBatch:
-			b, err := wire.ParseReplBatch(payload)
+			b, err := wire.ParseReplBatchFlags(payload, flags)
 			if err != nil {
 				return err
 			}
@@ -299,16 +312,35 @@ func (f *Follower) applyBatch(b wire.ReplBatch) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	ring := f.traceRing.Load()
 	for _, rec := range b.Records {
 		wm := f.watermark.Load()
 		if rec.Seq <= wm {
+			// Idempotent resume overlap: already applied, so the span for
+			// this record was already emitted (or never will be) — a
+			// reconnect replaying the overlap must not duplicate it.
 			continue
 		}
 		if rec.Seq != wm+1 {
 			return fmt.Errorf("replica: stream gap: got seq %d at watermark %d", rec.Seq, wm)
 		}
+		traced := ring != nil && rec.Trace != 0
+		var t0 time.Time
+		if traced {
+			t0 = time.Now()
+		}
 		if err := f.applyPairsLocked(rec.Seq, rec.Pairs); err != nil {
 			return err
+		}
+		if traced {
+			ring.Add(trace.Span{
+				Trace: rec.Trace,
+				Kind:  trace.KReplApply,
+				Seq:   rec.Seq,
+				Start: t0.UnixNano(),
+				Dur:   int64(time.Since(t0)),
+				Arg:   int64(f.watermark.Load()),
+			})
 		}
 	}
 	return nil

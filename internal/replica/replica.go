@@ -60,6 +60,12 @@ type Publisher struct {
 	log     *wal.Log
 	subs    atomic.Int64
 	drops   atomic.Uint64
+
+	// traceLookup, when set, maps a record's commit sequence number to
+	// the trace id of the request that produced it (zero when unknown or
+	// evicted). Streams then ship traced record headers (FlagReplTrace)
+	// so followers can close the replication leg of an end-to-end trace.
+	traceLookup atomic.Pointer[func(uint64) uint64]
 }
 
 // NewPublisher builds a publisher over the leader's log. logPath is the
@@ -76,6 +82,18 @@ func (p *Publisher) Subscribers() int { return int(p.subs.Load()) }
 // followers that went away mid-stream rather than unsubscribing by
 // closing cleanly before a frame was in flight.
 func (p *Publisher) Dropped() uint64 { return p.drops.Load() }
+
+// SetTraceLookup installs the seq→trace mapping future streams consult
+// (the server wires its lossy SeqTraces table here). Nil disables traced
+// shipping. Safe to call while streams are live; each frame snapshots
+// the pointer.
+func (p *Publisher) SetTraceLookup(fn func(uint64) uint64) {
+	if fn == nil {
+		p.traceLookup.Store(nil)
+		return
+	}
+	p.traceLookup.Store(&fn)
+}
 
 // Stream serves one subscriber: TReplBatch frames carrying consecutive
 // records from fromSeq onward, bounded by the durable frontier, written
@@ -96,9 +114,23 @@ func (p *Publisher) Stream(w io.Writer, id, fromSeq uint64, stop func() bool) er
 	var advertised uint64
 	lastSend := time.Now()
 
+	// The traced layout is decided once per stream: a lookup installed
+	// mid-stream takes effect on the next subscription, so every frame a
+	// follower sees on one connection uses one record-header layout.
+	lookup := p.traceLookup.Load()
+	recHeader := 12
+	if lookup != nil {
+		recHeader = 20
+	}
+
 	emit := func(b wire.ReplBatch) error {
-		payload = wire.AppendReplBatch(payload[:0], b)
-		frame = wire.AppendFrame(frame[:0], id, wire.TReplBatch, payload)
+		if lookup != nil {
+			payload = wire.AppendReplBatchT(payload[:0], b)
+			frame = wire.AppendFrameT(frame[:0], id, wire.TReplBatch, wire.FlagReplTrace, 0, payload)
+		} else {
+			payload = wire.AppendReplBatch(payload[:0], b)
+			frame = wire.AppendFrame(frame[:0], id, wire.TReplBatch, payload)
+		}
 		if _, err := w.Write(frame); err != nil {
 			p.drops.Add(1)
 			return err
@@ -132,10 +164,13 @@ func (p *Publisher) Stream(w io.Writer, id, fromSeq uint64, stop func() bool) er
 		size := 0
 		for _, r := range recs {
 			rec := wire.ReplRecord{Seq: r.Seq, Pairs: make([]wire.ReplPair, len(r.Entries))}
+			if lookup != nil {
+				rec.Trace = (*lookup)(r.Seq)
+			}
 			for i, e := range r.Entries {
 				rec.Pairs[i] = wire.ReplPair{Addr: uint64(e.Addr), Val: e.Val}
 			}
-			recBytes := 12 + len(rec.Pairs)*16
+			recBytes := recHeader + len(rec.Pairs)*16
 			if len(batch.Records) > 0 && (size+recBytes > streamChunkBytes || len(batch.Records) >= wire.MaxReplRecords) {
 				if err := emit(batch); err != nil {
 					return err

@@ -91,6 +91,13 @@ type Record struct {
 	CtrlBatchMax    int `json:"ctrl_batch_max,omitempty"`
 	CtrlAdmitWaitUs int `json:"ctrl_admit_wait_us,omitempty"`
 	CtrlP99TargetUs int `json:"ctrl_p99_target_us,omitempty"`
+
+	// Tracing extras (net-trace only): spans the leader recorded over
+	// the run, and the reconstructed exemplar trace's server-side stage
+	// sum versus the client-observed round trip for the same trace id.
+	TraceSpansTotal uint64  `json:"trace_spans_total,omitempty"`
+	TraceStageSumUs float64 `json:"trace_stage_sum_us,omitempty"`
+	TraceClientUs   float64 `json:"trace_client_us,omitempty"`
 }
 
 // Key identifies a record's cell for matching between reports.

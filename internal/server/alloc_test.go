@@ -46,6 +46,35 @@ func TestServerRequestPathZeroAllocs(t *testing.T) {
 	}
 }
 
+// TestServerTracedRequestPathZeroAllocs pins the same TXN path with
+// tracing at full rate: every request carries a trace id, the server
+// records five stage spans plus an exemplar per request, and the client
+// closes its round-trip span — all of it ring stores into preallocated
+// slots, so the pin must stay at exactly zero.
+func TestServerTracedRequestPathZeroAllocs(t *testing.T) {
+	f := startFixture(t, 256, 1, 16, 0, false)
+	rb := dial(t, f, 1)
+	rb.EnableTracing(1)
+	s := rb.NewSession().(engine.AsyncSession)
+
+	op := func() {
+		s.Reset()
+		s.ReadModifyWriteAsync(7, 1)
+		s.ReadAsync(9)
+		s.Commit()
+	}
+	for i := 0; i < 512; i++ {
+		op()
+	}
+	allocs := testing.AllocsPerRun(500, op)
+	if raceEnabled {
+		t.Skipf("race detector instrumentation allocates; path exercised, pin skipped (measured %.2f)", allocs)
+	}
+	if allocs != 0 {
+		t.Fatalf("steady-state traced TXN round trip allocates %.2f times, want 0", allocs)
+	}
+}
+
 // TestRemoteRoundTripZeroAllocs pins the point-frame path (TGet/TPut
 // compact layouts through decodeData) via the synchronous plain
 // Session, the RemoteBackend conformance surface.

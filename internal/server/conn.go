@@ -150,10 +150,11 @@ func (c *srvConn) readLoop() {
 		var (
 			id      uint64
 			t       wire.Type
+			tr      uint64
 			payload []byte
 			err     error
 		)
-		id, t, payload, c.io.scratch, err = wire.ReadFrame(br, c.io.scratch)
+		id, t, _, tr, payload, c.io.scratch, err = wire.ReadFrameT(br, c.io.scratch)
 		if err != nil {
 			return
 		}
@@ -177,6 +178,7 @@ func (c *srvConn) readLoop() {
 			}
 			tsk.c = c
 			tsk.id = id
+			tsk.trace = tr
 			tsk.t0 = time.Now()
 			c.inflight.Add(1)
 			c.srv.shardFor(tsk.ops).ch <- tsk
@@ -362,12 +364,16 @@ func (c *srvConn) writeLoop() {
 		}
 		if m.t != nil {
 			// Close the lifecycle trace at the socket write: flush stage,
-			// then the slow-request check against the full span.
+			// span emission for sampled or slow requests, then the
+			// slow-request log check against the full span.
 			c.srv.flushHist.Observe(time.Since(m.t.tDone))
-			if th := c.srv.traceSlow; th > 0 {
-				if total := time.Since(m.t.t0); int64(total) >= th {
-					c.srv.noteSlow(m.t, total)
-				}
+			total := time.Since(m.t.t0)
+			slow := c.srv.traceSlow > 0 && int64(total) >= c.srv.traceSlow
+			if m.t.trace != 0 || slow {
+				c.srv.recordSpans(m.t, total)
+			}
+			if slow {
+				c.srv.noteSlow(m.t, total)
 			}
 			taskPool.Put(m.t)
 			c.taskDone()

@@ -47,6 +47,7 @@ import (
 	"sihtm/internal/stats"
 	"sihtm/internal/telemetry"
 	"sihtm/internal/tm"
+	"sihtm/internal/trace"
 	"sihtm/internal/wire"
 	"sihtm/internal/workload/engine"
 )
@@ -145,9 +146,20 @@ type Server struct {
 	framesOut    atomic.Uint64
 	execBusy     atomic.Int64
 	slowTraces   atomic.Uint64
+	slowStage    [3]atomic.Uint64 // dominant stage of slow requests: admit, exec, flush
 	lastSlowNs   atomic.Int64
 	traceSlow    int64 // Config.TraceSlow in ns (0 = off)
 	traceLog     io.Writer
+
+	// Structured tracing: the span ring every stage records into (the
+	// WAL and an attached follower share it), the service-latency
+	// exemplar table, the seq→trace map the replication publisher
+	// consults, and the id generator for server-origin ids (slow
+	// requests the client did not sample).
+	ring      *trace.Ring
+	exemplars trace.Exemplars
+	seqTraces trace.SeqTraces
+	idGen     *trace.IDGen
 
 	// Adaptive admission controller state (admission.go). p99Target is
 	// the live target in nanoseconds (zero = controller off).
@@ -198,6 +210,9 @@ type shard struct {
 type task struct {
 	c       *srvConn
 	id      uint64
+	trace   uint64 // client-stamped trace id (0 = unsampled)
+	seq     uint64 // commit sequence the carrying batch was assigned (update batches)
+	ackNs   int64  // fsync-acknowledgement wait inside the carrying Atomic
 	ops     []wire.Op
 	results []wire.Result
 	reply   []byte // encoded TReply frame (wire.AppendResultsFrame)
@@ -254,8 +269,15 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.batchMax.Store(int64(cfg.BatchMax))
 	s.admitWait.Store(int64(cfg.AdmitWait))
+	s.ring = trace.NewRing(trace.DefaultRingSpans)
+	s.idGen = trace.NewIDGen(uint64(time.Now().UnixNano()))
 	if cfg.Store != nil {
 		s.pub = replica.NewPublisher(cfg.Store.LogPath(), cfg.Store.Log())
+		s.pub.SetTraceLookup(s.seqTraces.Get)
+		cfg.Store.Log().SetTraceRing(s.ring)
+	}
+	if cfg.Follower != nil {
+		cfg.Follower.SetTraceRing(s.ring)
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{
@@ -470,6 +492,40 @@ func (s *Server) Snapshot() wire.ServerStats { return s.statsSnapshot() }
 // loadgen cells read it directly).
 func (s *Server) Hist() *stats.Histogram { return s.hist }
 
+// TraceRing exposes the server's span ring — what /debug/traces serves
+// and what trace-reconstruction cells snapshot. The WAL's fsync spans
+// and an attached follower's replay spans land in the same ring.
+func (s *Server) TraceRing() *trace.Ring { return s.ring }
+
+// Exemplars exposes the service-latency exemplar table: per histogram
+// bucket, the most recent traced request that landed in it.
+func (s *Server) Exemplars() *trace.Exemplars { return &s.exemplars }
+
+// recordSpans closes a request's lifecycle trace after the socket
+// write: one span per stage plus the covering request span, all under
+// one trace id. Requests the client did not sample get spans only when
+// slow, under a fresh server-origin id. The stage spans tile the
+// request exactly (admit + exec + flush = total); the ack span nests
+// inside exec. Allocation-free: spans are stack literals into the
+// lock-free ring.
+func (s *Server) recordSpans(t *task, total time.Duration) {
+	tr := t.trace
+	if tr == 0 {
+		tr = s.idGen.Next() | trace.ServerOriginBit
+	}
+	start := t.t0.UnixNano()
+	admit := int64(t.tExec.Sub(t.t0))
+	exec := int64(t.tDone.Sub(t.tExec))
+	flush := int64(total) - admit - exec
+	s.ring.Add(trace.Span{Trace: tr, Kind: trace.KAdmit, Start: start, Dur: admit})
+	s.ring.Add(trace.Span{Trace: tr, Kind: trace.KExec, Start: start + admit, Dur: exec, Arg: int64(t.batchOps)})
+	if t.ackNs > 0 {
+		s.ring.Add(trace.Span{Trace: tr, Kind: trace.KAck, Seq: t.seq, Start: t.tDone.UnixNano() - t.ackNs, Dur: t.ackNs})
+	}
+	s.ring.Add(trace.Span{Trace: tr, Kind: trace.KFlush, Start: start + admit + exec, Dur: flush})
+	s.ring.Add(trace.Span{Trace: tr, Kind: trace.KRequest, Start: start, Dur: int64(total), Arg: int64(len(t.ops)), Seq: t.seq})
+}
+
 // Draining reports whether Drain has started — the readiness signal.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
@@ -581,14 +637,32 @@ func (sh *shard) exec(s *Server, opsN int) {
 	s.batchedOps.Add(uint64(opsN))
 	s.execHist.Observe(time.Since(tExec))
 	s.batchOpsHist.Observe(time.Duration(opsN))
+	// Commit sequence and fsync-ack wait of the batch just executed
+	// (thread-owned slots, read on the same executor that ran Atomic);
+	// zero for read-only batches, which never touched the log.
+	var seq uint64
+	var ackNs int64
+	if st := s.cfg.Store; st != nil && kind == tm.KindUpdate {
+		seq = st.ThreadSeq(sh.id)
+		ackNs = st.LastAckWait(sh.id)
+	}
 	for _, t := range sh.batch {
 		// With a durable store attached, Atomic returned only after the
 		// batch's record was fsynced — the reply acknowledges durability.
 		// The framed reply is encoded straight into the task's own buffer
 		// (no intermediate payload, no copy); the writer releases the
 		// inflight reference and recycles the task after the write.
-		s.hist.Observe(time.Since(t.t0))
-		t.reply = wire.AppendResultsFrame(t.reply[:0], t.id, t.results)
+		d := time.Since(t.t0)
+		s.hist.Observe(d)
+		t.seq = seq
+		t.ackNs = ackNs
+		if t.trace != 0 {
+			s.exemplars.Note(d, t.trace)
+			if seq != 0 {
+				s.seqTraces.Put(seq, t.trace)
+			}
+		}
+		t.reply = wire.AppendResultsFrameT(t.reply[:0], t.id, t.trace, t.results)
 		t.tExec = tExec
 		t.batchOps = int32(opsN)
 		t.hwBegins = uint32(locd.HWBeginROT + locd.HWBeginHTM)

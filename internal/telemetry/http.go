@@ -8,6 +8,13 @@ import (
 	"time"
 )
 
+// Extra mounts one additional handler onto the observability mux — the
+// transaction server adds /debug/traces this way.
+type Extra struct {
+	Path    string
+	Handler http.Handler
+}
+
 // NewHandler builds the observability mux:
 //
 //	/metrics        Prometheus text exposition of reg
@@ -18,7 +25,8 @@ import (
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // ready may be nil, in which case /readyz behaves like /healthz.
-func NewHandler(reg *Registry, ready func() error) http.Handler {
+// Extras are mounted verbatim after the built-ins.
+func NewHandler(reg *Registry, ready func() error, extras ...Extra) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -43,6 +51,9 @@ func NewHandler(reg *Registry, ready func() error) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, e := range extras {
+		mux.Handle(e.Path, e.Handler)
+	}
 	return mux
 }
 
@@ -53,8 +64,9 @@ type Server struct {
 }
 
 // ListenAndServe binds addr (use port 0 for an ephemeral port in tests)
-// and serves NewHandler(reg, ready) in a background goroutine.
-func ListenAndServe(addr string, reg *Registry, ready func() error) (*Server, error) {
+// and serves NewHandler(reg, ready, extras...) in a background
+// goroutine.
+func ListenAndServe(addr string, reg *Registry, ready func() error, extras ...Extra) (*Server, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
@@ -63,7 +75,7 @@ func ListenAndServe(addr string, reg *Registry, ready func() error) (*Server, er
 		lis: lis,
 		// No WriteTimeout: pprof profile/trace requests legitimately
 		// stream for their ?seconds= duration.
-		srv: &http.Server{Handler: NewHandler(reg, ready), ReadHeaderTimeout: 5 * time.Second},
+		srv: &http.Server{Handler: NewHandler(reg, ready, extras...), ReadHeaderTimeout: 5 * time.Second},
 	}
 	go func() { _ = s.srv.Serve(lis) }()
 	return s, nil

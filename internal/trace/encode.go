@@ -1,0 +1,181 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// SpanJSON is the JSONL exchange form of a Span: one object per line on
+// /debug/traces, consumed by `repro trace` when merging rings from a
+// whole cluster. Trace ids travel as decimal strings — they are opaque
+// 64-bit tokens, and strings survive every JSON consumer (including the
+// Chrome trace viewer's JS) without precision loss.
+type SpanJSON struct {
+	Trace string `json:"trace,omitempty"`
+	Kind  string `json:"kind"`
+	Seq   uint64 `json:"seq,omitempty"`
+	Start int64  `json:"start_ns"`
+	Dur   int64  `json:"dur_ns"`
+	Arg   int64  `json:"arg,omitempty"`
+	// Node labels the process the span came from; empty on a node's own
+	// /debug/traces output, filled in by the merge step.
+	Node string `json:"node,omitempty"`
+}
+
+// ToJSON converts a span for serialization.
+func (s Span) ToJSON(node string) SpanJSON {
+	j := SpanJSON{Kind: s.Kind.String(), Seq: s.Seq, Start: s.Start, Dur: s.Dur, Arg: s.Arg, Node: node}
+	if s.Trace != 0 {
+		j.Trace = strconv.FormatUint(s.Trace, 10)
+	}
+	return j
+}
+
+// FromJSON converts back; unknown kinds are an error.
+func (j SpanJSON) FromJSON() (Span, string, error) {
+	k := KindByName(j.Kind)
+	if k == NumKinds {
+		return Span{}, "", fmt.Errorf("trace: unknown span kind %q", j.Kind)
+	}
+	s := Span{Kind: k, Seq: j.Seq, Start: j.Start, Dur: j.Dur, Arg: j.Arg}
+	if j.Trace != "" {
+		t, err := strconv.ParseUint(j.Trace, 10, 64)
+		if err != nil {
+			return Span{}, "", fmt.Errorf("trace: bad trace id %q: %v", j.Trace, err)
+		}
+		s.Trace = t
+	}
+	return s, j.Node, nil
+}
+
+// WriteJSONL writes spans one JSON object per line.
+func WriteJSONL(w io.Writer, spans []Span, node string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, s := range spans {
+		if err := enc.Encode(s.ToJSON(node)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL span stream (blank lines skipped). The
+// returned spans carry the node label embedded in each line.
+func ReadJSONL(r io.Reader) ([]Span, []string, error) {
+	var spans []Span
+	var nodes []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j SpanJSON
+		if err := json.Unmarshal(line, &j); err != nil {
+			return nil, nil, fmt.Errorf("trace: bad JSONL line: %v", err)
+		}
+		s, node, err := j.FromJSON()
+		if err != nil {
+			return nil, nil, err
+		}
+		spans = append(spans, s)
+		nodes = append(nodes, node)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return spans, nodes, nil
+}
+
+// NodeSpans is one process's ring contents under its cluster-unique
+// label ("leader", "follower-0", ...), the unit `repro trace` merges.
+type NodeSpans struct {
+	Node  string
+	Spans []Span
+}
+
+// WriteChromeTrace merges per-node span sets into a single Chrome
+// trace_event JSON document (load in chrome://tracing or Perfetto).
+// Each node becomes a process; request-scoped spans group under their
+// trace id as threads, process-scoped spans (fsync) under a "wal"
+// thread. Complete events ("ph":"X") with microsecond timestamps.
+func WriteChromeTrace(w io.Writer, nodes []NodeSpans) error {
+	type chromeEvent struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		Pid  string         `json:"pid"`
+		Tid  string         `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	var evs []chromeEvent
+	for _, n := range nodes {
+		for _, s := range n.Spans {
+			tid := "wal"
+			if s.Trace != 0 {
+				tid = "trace-" + strconv.FormatUint(s.Trace, 10)
+			}
+			args := map[string]any{}
+			if s.Seq != 0 {
+				args["seq"] = s.Seq
+			}
+			if s.Arg != 0 {
+				args["arg"] = s.Arg
+			}
+			if s.Trace&ServerOriginBit != 0 {
+				args["server_origin"] = true
+			}
+			evs = append(evs, chromeEvent{
+				Name: s.Kind.String(),
+				Ph:   "X",
+				Ts:   float64(s.Start) / 1e3,
+				Dur:  float64(s.Dur) / 1e3,
+				Pid:  n.Node,
+				Tid:  tid,
+				Args: args,
+			})
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	doc := struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{TraceEvents: evs}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}
+
+// Handler serves the ring as JSONL on GET — the /debug/traces endpoint
+// of the telemetry listener. `?trace=<id>` filters to one trace id.
+func Handler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		spans := r.Snapshot(nil)
+		if q := req.URL.Query().Get("trace"); q != "" {
+			id, err := strconv.ParseUint(q, 10, 64)
+			if err != nil {
+				http.Error(w, "bad trace id", http.StatusBadRequest)
+				return
+			}
+			kept := spans[:0]
+			for _, s := range spans {
+				if s.Trace == id {
+					kept = append(kept, s)
+				}
+			}
+			spans = kept
+		}
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		WriteJSONL(w, spans, "")
+	})
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+
+	"sihtm/internal/stats"
+)
+
+// Exemplars ties trace ids to the latency histogram's buckets: one
+// atomic cell per stats.Histogram bucket holding the most recent traced
+// request whose total latency landed there. A scraped p99 therefore
+// comes with a concrete trace id to look up in /debug/traces — the
+// bridge from "the histogram says something is slow" to "this exact
+// request shows where the time went".
+//
+// The table is parallel to the histogram, not embedded in it: the
+// histogram's Observe path stays a single atomic add for the unsampled
+// majority, and only traced requests (1 in DefaultSampleEvery) pay the
+// extra store.
+type Exemplars struct {
+	slots [stats.NumHistogramBuckets]atomic.Uint64
+}
+
+// Note records trace as the freshest exemplar for the bucket d lands
+// in. Zero trace ids are ignored.
+func (e *Exemplars) Note(d time.Duration, trace uint64) {
+	if e == nil || trace == 0 {
+		return
+	}
+	e.slots[stats.HistogramSlot(d)].Store(trace)
+}
+
+// Trace returns the most recent exemplar for one bucket slot, or zero.
+func (e *Exemplars) Trace(slot int) uint64 {
+	if e == nil || slot < 0 || slot >= len(e.slots) {
+		return 0
+	}
+	return e.slots[slot].Load()
+}
+
+// ForQuantile resolves the exemplar nearest the q-quantile of a
+// histogram snapshot: the exemplar of the bucket holding the quantile,
+// falling back to the closest occupied lower bucket with an exemplar.
+// Returns zero when the table has nothing relevant.
+func (e *Exemplars) ForQuantile(s stats.HistogramSnapshot, q float64) uint64 {
+	if e == nil {
+		return 0
+	}
+	d, ok := s.QuantileOK(q)
+	if !ok {
+		return 0
+	}
+	slot := stats.HistogramSlot(d)
+	if slot >= len(e.slots) {
+		slot = len(e.slots) - 1
+	}
+	for i := slot; i >= 0; i-- {
+		if t := e.slots[i].Load(); t != 0 {
+			return t
+		}
+	}
+	for i := slot + 1; i < len(e.slots); i++ {
+		if t := e.slots[i].Load(); t != 0 {
+			return t
+		}
+	}
+	return 0
+}

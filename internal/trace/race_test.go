@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled gates the exact alloc pins: the race detector's
+// instrumentation allocates, so the pins only assert without it.
+const raceEnabled = true

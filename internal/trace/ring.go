@@ -1,0 +1,156 @@
+package trace
+
+import "sync/atomic"
+
+// DefaultRingSpans is the default per-process ring capacity. At the
+// default 1/64 sampling rate and ~5 spans per traced request this
+// window covers the last ~50k requests — plenty for "why was that
+// request slow a moment ago" while bounding memory to ~256 KiB.
+const DefaultRingSpans = 4096
+
+// Ring is a fixed-size lock-free span buffer. Writers claim slots from
+// a monotone counter and publish with a per-slot version (seqlock):
+// odd while a write is in flight, even when stable. Readers snapshot
+// without blocking writers; a slot overwritten mid-read is detected by
+// the version changing and skipped. Every field is an atomic word, so
+// the ring is torn-write-safe and clean under the race detector.
+//
+// Overwrite semantics are deliberate: the ring keeps the most recent
+// spans and silently drops the oldest — it is a diagnostic window, not
+// a log. In the pathological case of the write counter lapping a slot
+// twice during one read, a snapshot can surface a span assembled from
+// two writes; acceptable for diagnostics, impossible to hit with a
+// 4096-slot ring and microsecond writes.
+type Ring struct {
+	mask  uint64
+	next  atomic.Uint64
+	total atomic.Uint64
+	slots []ringSlot
+}
+
+type ringSlot struct {
+	ver   atomic.Uint64
+	trace atomic.Uint64
+	seq   atomic.Uint64
+	kind  atomic.Uint32
+	start atomic.Int64
+	dur   atomic.Int64
+	arg   atomic.Int64
+}
+
+// NewRing builds a ring with at least n slots (rounded up to a power of
+// two; n <= 0 uses DefaultRingSpans).
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSpans
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Ring{mask: uint64(size - 1), slots: make([]ringSlot, size)}
+}
+
+// Add records one span. Allocation-free; safe for concurrent use.
+func (r *Ring) Add(s Span) {
+	if r == nil {
+		return
+	}
+	i := r.next.Add(1) - 1
+	sl := &r.slots[i&r.mask]
+	sl.ver.Add(1) // odd: write in flight
+	sl.trace.Store(s.Trace)
+	sl.seq.Store(s.Seq)
+	sl.kind.Store(uint32(s.Kind))
+	sl.start.Store(s.Start)
+	sl.dur.Store(s.Dur)
+	sl.arg.Store(s.Arg)
+	sl.ver.Add(1) // even: stable
+	r.total.Add(1)
+}
+
+// Total returns the number of spans ever recorded (recorded minus
+// len(Snapshot) = spans the ring has dropped).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total.Load()
+}
+
+// Snapshot appends every currently stable span to dst and returns it,
+// oldest first. Concurrent writers are never blocked; slots being
+// written during the pass are skipped.
+func (r *Ring) Snapshot(dst []Span) []Span {
+	if r == nil {
+		return dst
+	}
+	head := r.next.Load()
+	n := uint64(len(r.slots))
+	lo := uint64(0)
+	if head > n {
+		lo = head - n
+	}
+	for i := lo; i < head; i++ {
+		sl := &r.slots[i&r.mask]
+		v1 := sl.ver.Load()
+		if v1 == 0 || v1&1 != 0 {
+			continue
+		}
+		s := Span{
+			Trace: sl.trace.Load(),
+			Seq:   sl.seq.Load(),
+			Kind:  Kind(sl.kind.Load()),
+			Start: sl.start.Load(),
+			Dur:   sl.dur.Load(),
+			Arg:   sl.arg.Load(),
+		}
+		if sl.ver.Load() != v1 {
+			continue // overwritten mid-read
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// SeqTraces is a small lossy seq → trace map: the leader's exec stage
+// Puts (commit sequence, trace id) pairs for sampled requests, and the
+// replication publisher Gets them to piggyback the id on the outgoing
+// record. Fixed-size, allocation-free, safe for concurrent use; an
+// entry may be overwritten by a later sequence hashing to the same
+// slot, in which case the stream carries a zero id (span simply not
+// closed — never a wrong closure, because Get re-checks the key).
+type SeqTraces struct {
+	seqs   [seqTraceSlots]atomic.Uint64
+	traces [seqTraceSlots]atomic.Uint64
+}
+
+const seqTraceSlots = 1 << 12
+
+// Put associates trace with seq. Zero values are ignored.
+func (m *SeqTraces) Put(seq, trace uint64) {
+	if m == nil || seq == 0 || trace == 0 {
+		return
+	}
+	i := seq & (seqTraceSlots - 1)
+	// Trace first, then the key: a reader that sees the key sees the
+	// matching trace (single writer per seq; seqs are unique).
+	m.traces[i].Store(trace)
+	m.seqs[i].Store(seq)
+}
+
+// Get returns the trace associated with seq, or zero.
+func (m *SeqTraces) Get(seq uint64) uint64 {
+	if m == nil || seq == 0 {
+		return 0
+	}
+	i := seq & (seqTraceSlots - 1)
+	if m.seqs[i].Load() != seq {
+		return 0
+	}
+	t := m.traces[i].Load()
+	if m.seqs[i].Load() != seq {
+		return 0 // overwritten between loads
+	}
+	return t
+}

@@ -28,6 +28,7 @@ import (
 
 	"sihtm/internal/footprint"
 	"sihtm/internal/stats"
+	"sihtm/internal/trace"
 )
 
 // Config tunes a Log.
@@ -85,6 +86,13 @@ type Log struct {
 	// a telemetry registry scrapes them.
 	fsyncHist     stats.Histogram
 	batchRecsHist stats.Histogram
+
+	// traceRing, when set, receives one KFsync span per group-commit
+	// flush that wrote data (Seq = highest sequence made durable, Arg =
+	// records covered) — the durability boundary's slice of an
+	// end-to-end trace. Atomic pointer so SetTraceRing is safe after the
+	// daemon started.
+	traceRing atomic.Pointer[trace.Ring]
 
 	window time.Duration
 	kick   chan struct{} // wakes the daemon when Window == 0
@@ -205,8 +213,20 @@ func (l *Log) flush() error {
 	if err := l.f.Sync(); err != nil {
 		return fmt.Errorf("wal: fsync: %w", err)
 	}
-	l.fsyncHist.Observe(time.Since(t0))
+	fsyncDur := time.Since(t0)
+	l.fsyncHist.Observe(fsyncDur)
 	l.fsyncs.Add(1)
+	if recs > 0 {
+		if r := l.traceRing.Load(); r != nil {
+			r.Add(trace.Span{
+				Kind:  trace.KFsync,
+				Seq:   hi,
+				Start: t0.UnixNano(),
+				Dur:   int64(fsyncDur),
+				Arg:   int64(recs),
+			})
+		}
+	}
 
 	l.durMu.Lock()
 	if hi > l.durable {
@@ -285,6 +305,10 @@ func (l *Log) FsyncHist() *stats.Histogram { return &l.fsyncHist }
 // BatchRecsHist returns the records-per-group-commit-batch histogram
 // (dimensionless: Observe'd as time.Duration(records)).
 func (l *Log) BatchRecsHist() *stats.Histogram { return &l.batchRecsHist }
+
+// SetTraceRing attaches a span ring: every subsequent group-commit
+// flush that writes data records a KFsync span into it. Nil detaches.
+func (l *Log) SetTraceRing(r *trace.Ring) { l.traceRing.Store(r) }
 
 // PendingBytes returns the size of the append buffer awaiting the next
 // flush — the WAL's queue depth as seen by the group-commit daemon.

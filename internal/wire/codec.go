@@ -133,10 +133,21 @@ func ParseOps(p []byte, dst []Op) ([]Op, error) {
 // ops)) without the intermediate payload slice. Allocation-free when
 // buf has capacity; this is the client hot path's encoder.
 func AppendOpsFrame(buf []byte, id uint64, ops []Op) []byte {
+	return AppendOpsFrameT(buf, id, 0, ops)
+}
+
+// AppendOpsFrameT is AppendOpsFrame with a trace id: nonzero trace sets
+// FlagTrace and rides the frame's trace extension, zero produces the
+// legacy encoding byte-for-byte. Allocation-free when buf has capacity.
+func AppendOpsFrameT(buf []byte, id, trace uint64, ops []Op) []byte {
+	var flags uint8
+	if trace != 0 {
+		flags = FlagTrace
+	}
 	start := len(buf)
-	buf = appendHeader(buf, id, TTxn, 0)
+	buf = appendHeader(buf, id, TTxn, flags, 0)
 	buf = AppendOps(buf, ops)
-	return sealFrame(buf, start)
+	return sealFrameT(buf, start, flags, trace)
 }
 
 // AppendResults encodes a result list (count u32, then results) onto p.
@@ -159,10 +170,22 @@ func AppendResults(p []byte, rs []Result) []byte {
 // directly onto buf — the server hot path's encoder, pairing with
 // AppendOpsFrame. Allocation-free when buf has capacity.
 func AppendResultsFrame(buf []byte, id uint64, rs []Result) []byte {
+	return AppendResultsFrameT(buf, id, 0, rs)
+}
+
+// AppendResultsFrameT is AppendResultsFrame with a trace id echoed back
+// to the client (zero trace = legacy encoding). The echo lets an
+// open-loop receiver attribute the client-side span without holding
+// per-request state. Allocation-free when buf has capacity.
+func AppendResultsFrameT(buf []byte, id, trace uint64, rs []Result) []byte {
+	var flags uint8
+	if trace != 0 {
+		flags = FlagTrace
+	}
 	start := len(buf)
-	buf = appendHeader(buf, id, TReply, 0)
+	buf = appendHeader(buf, id, TReply, flags, 0)
 	buf = AppendResults(buf, rs)
-	return sealFrame(buf, start)
+	return sealFrameT(buf, start, flags, trace)
 }
 
 // ParseResults decodes a result list into dst.

@@ -32,7 +32,11 @@ const MaxReplRecords = 1 << 12
 const (
 	replBatchHeader = 12 // watermark u64 + count u32
 	replRecHeader   = 12 // seq u64 + npairs u32
-	replPairBytes   = 16
+	// replRecHeaderT is the record header under FlagReplTrace: the legacy
+	// header plus a trace u64 (the id of the client request whose commit
+	// the record carries; zero when the commit was unsampled).
+	replRecHeaderT = 20
+	replPairBytes  = 16
 )
 
 // ReplPair is one redo word: the (address, value) unit of a WAL record.
@@ -47,6 +51,11 @@ type ReplPair struct {
 type ReplRecord struct {
 	Seq   uint64
 	Pairs []ReplPair
+	// Trace is the id of the sampled client request this commit
+	// contained (zero when unsampled or when the batch was encoded
+	// without FlagReplTrace). The follower closes the request's
+	// replication span when it applies the record.
+	Trace uint64
 }
 
 // ReplBatch is the TReplBatch payload: the leader's durable watermark
@@ -63,6 +72,16 @@ func (b ReplBatch) EncodedSize() int {
 	n := replBatchHeader
 	for _, r := range b.Records {
 		n += replRecHeader + len(r.Pairs)*replPairBytes
+	}
+	return n
+}
+
+// EncodedSizeT returns the payload bytes AppendReplBatchT would
+// produce (traced record headers).
+func (b ReplBatch) EncodedSizeT() int {
+	n := replBatchHeader
+	for _, r := range b.Records {
+		n += replRecHeaderT + len(r.Pairs)*replPairBytes
 	}
 	return n
 }
@@ -104,12 +123,52 @@ func AppendReplBatch(p []byte, b ReplBatch) []byte {
 	return p
 }
 
+// AppendReplBatchT encodes a TReplBatch payload with traced record
+// headers; the enclosing frame must carry FlagReplTrace so the parser
+// picks the matching layout. Like the legacy encoding it is canonical:
+// one valid byte sequence per value.
+func AppendReplBatchT(p []byte, b ReplBatch) []byte {
+	var hdr [replBatchHeader]byte
+	binary.LittleEndian.PutUint64(hdr[0:], b.Watermark)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(b.Records)))
+	p = append(p, hdr[:]...)
+	for _, r := range b.Records {
+		var rh [replRecHeaderT]byte
+		binary.LittleEndian.PutUint64(rh[0:], r.Seq)
+		binary.LittleEndian.PutUint32(rh[8:], uint32(len(r.Pairs)))
+		binary.LittleEndian.PutUint64(rh[12:], r.Trace)
+		p = append(p, rh[:]...)
+		for _, pr := range r.Pairs {
+			var pb [replPairBytes]byte
+			binary.LittleEndian.PutUint64(pb[0:], pr.Addr)
+			binary.LittleEndian.PutUint64(pb[8:], pr.Val)
+			p = append(p, pb[:]...)
+		}
+	}
+	return p
+}
+
 // ParseReplBatch decodes a TReplBatch payload. The parse is strict —
 // record and pair counts must account for every byte, with nothing
 // trailing — so a truncated or padded payload is rejected rather than
 // silently misapplied to a replica's heap.
 func ParseReplBatch(p []byte) (ReplBatch, error) {
+	return parseReplBatch(p, false)
+}
+
+// ParseReplBatchFlags decodes a TReplBatch payload using the layout the
+// enclosing frame's flags announce (FlagReplTrace selects the traced
+// record headers).
+func ParseReplBatchFlags(p []byte, flags uint8) (ReplBatch, error) {
+	return parseReplBatch(p, flags&FlagReplTrace != 0)
+}
+
+func parseReplBatch(p []byte, traced bool) (ReplBatch, error) {
 	var b ReplBatch
+	recHeader := replRecHeader
+	if traced {
+		recHeader = replRecHeaderT
+	}
 	if len(p) < replBatchHeader {
 		return b, fmt.Errorf("%w: repl batch payload of %d bytes", ErrBadFrame, len(p))
 	}
@@ -123,12 +182,16 @@ func ParseReplBatch(p []byte) (ReplBatch, error) {
 		b.Records = make([]ReplRecord, 0, count)
 	}
 	for i := uint32(0); i < count; i++ {
-		if len(p)-off < replRecHeader {
+		if len(p)-off < recHeader {
 			return b, fmt.Errorf("%w: truncated repl record header", ErrBadFrame)
 		}
 		seq := binary.LittleEndian.Uint64(p[off:])
 		npairs := binary.LittleEndian.Uint32(p[off+8:])
-		off += replRecHeader
+		var trace uint64
+		if traced {
+			trace = binary.LittleEndian.Uint64(p[off+12:])
+		}
+		off += recHeader
 		if int(npairs) > (len(p)-off)/replPairBytes {
 			return b, fmt.Errorf("%w: repl record claims %d pairs, %d bytes remain", ErrBadFrame, npairs, len(p)-off)
 		}
@@ -138,7 +201,7 @@ func ParseReplBatch(p []byte) (ReplBatch, error) {
 			pairs[j].Val = binary.LittleEndian.Uint64(p[off+8:])
 			off += replPairBytes
 		}
-		b.Records = append(b.Records, ReplRecord{Seq: seq, Pairs: pairs})
+		b.Records = append(b.Records, ReplRecord{Seq: seq, Pairs: pairs, Trace: trace})
 	}
 	if off != len(p) {
 		return b, fmt.Errorf("%w: %d trailing bytes after repl batch", ErrBadFrame, len(p)-off)

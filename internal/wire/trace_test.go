@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The trace frame extension's contract: zero trace degenerates to the
+// legacy encoding byte-for-byte, nonzero trace survives both parse
+// paths, and unknown flag bits are a framing error.
+
+func TestTraceFrameRoundTrip(t *testing.T) {
+	ops := []Op{{Kind: OpPut, Key: 1, Arg: 2}, {Kind: OpGet, Key: 3}}
+
+	// Zero trace: byte-identical to the legacy encoder.
+	legacy := AppendOpsFrame(nil, 42, ops)
+	if got := AppendOpsFrameT(nil, 42, 0, ops); !bytes.Equal(got, legacy) {
+		t.Fatal("AppendOpsFrameT with zero trace diverges from the legacy encoding")
+	}
+	if got := AppendFrameT(nil, 42, TTxn, 0, 0, AppendOps(nil, ops)); !bytes.Equal(got, legacy) {
+		t.Fatal("AppendFrameT with zero trace diverges from the legacy encoding")
+	}
+
+	// Nonzero trace: both parse paths surface it; the legacy parser
+	// still decodes id/type/payload.
+	const trace = uint64(0xdeadbeefcafe)
+	framed := AppendOpsFrameT(nil, 42, trace, ops)
+	if len(framed) != len(legacy)+traceExtBytes {
+		t.Fatalf("traced frame is %d bytes, want legacy+%d = %d", len(framed), traceExtBytes, len(legacy)+traceExtBytes)
+	}
+	id, typ, flags, tr, payload, size, err := ParseFrameT(framed)
+	if err != nil || id != 42 || typ != TTxn || flags != FlagTrace || tr != trace || size != len(framed) {
+		t.Fatalf("ParseFrameT: id=%d type=%v flags=%#x trace=%#x size=%d err=%v", id, typ, flags, tr, size, err)
+	}
+	if back, err := ParseOps(payload, nil); err != nil || len(back) != len(ops) {
+		t.Fatalf("traced payload: %d ops err=%v", len(back), err)
+	}
+	if id, typ, _, _, err := ParseFrame(framed); err != nil || id != 42 || typ != TTxn {
+		t.Fatalf("legacy ParseFrame on traced frame: id=%d type=%v err=%v", id, typ, err)
+	}
+
+	id, typ, flags, tr, _, _, err = ReadFrameT(bytes.NewReader(framed), nil)
+	if err != nil || id != 42 || typ != TTxn || flags != FlagTrace || tr != trace {
+		t.Fatalf("ReadFrameT: id=%d type=%v flags=%#x trace=%#x err=%v", id, typ, flags, tr, err)
+	}
+
+	// Reply echo.
+	rs := []Result{{OK: true, Val: 9}}
+	reply := AppendResultsFrameT(nil, 42, trace, rs)
+	if _, typ, _, tr, _, _, err := ParseFrameT(reply); err != nil || typ != TReply || tr != trace {
+		t.Fatalf("reply echo: type=%v trace=%#x err=%v", typ, tr, err)
+	}
+	if got := AppendResultsFrameT(nil, 42, 0, rs); !bytes.Equal(got, AppendResultsFrame(nil, 42, rs)) {
+		t.Fatal("AppendResultsFrameT with zero trace diverges from the legacy encoding")
+	}
+}
+
+func TestUnknownFlagBitsRejected(t *testing.T) {
+	frame := AppendFrame(nil, 1, TTxn, AppendOps(nil, nil))
+	frame[17] = 0x80
+	// Re-seal so only the flag byte is wrong, not the CRC.
+	frame = sealFrameExt(frame[:len(frame)-trailerBytes], 0, 0)
+	if _, _, _, _, _, _, err := ParseFrameT(frame); err == nil {
+		t.Fatal("unknown flag bits accepted")
+	}
+	if _, _, _, _, _, _, err := ReadFrameT(bytes.NewReader(frame), nil); err == nil {
+		t.Fatal("unknown flag bits accepted by the stream reader")
+	}
+}
+
+func TestReplBatchTracedRoundTrip(t *testing.T) {
+	b := ReplBatch{
+		Watermark: 10,
+		Records: []ReplRecord{
+			{Seq: 11, Pairs: []ReplPair{{Addr: 1, Val: 2}}, Trace: 0xfeed},
+			{Seq: 12, Pairs: nil, Trace: 0},
+			{Seq: 13, Pairs: []ReplPair{{Addr: 3, Val: 4}, {Addr: 5, Val: 6}}, Trace: 0xbeef},
+		},
+	}
+	p := AppendReplBatchT(nil, b)
+	if len(p) != b.EncodedSizeT() {
+		t.Fatalf("EncodedSizeT %d != encoded %d", b.EncodedSizeT(), len(p))
+	}
+	back, err := ParseReplBatchFlags(p, FlagReplTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Watermark != b.Watermark || len(back.Records) != len(b.Records) {
+		t.Fatalf("traced batch round trip: %+v", back)
+	}
+	for i, r := range back.Records {
+		want := b.Records[i]
+		if r.Seq != want.Seq || r.Trace != want.Trace || len(r.Pairs) != len(want.Pairs) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, want)
+		}
+	}
+	// Canonical: re-encode is byte-identical.
+	if re := AppendReplBatchT(nil, back); !bytes.Equal(re, p) {
+		t.Fatal("traced repl batch does not re-encode identically")
+	}
+	// Without the flag the traced payload must be rejected (its record
+	// headers don't tile the legacy layout), never silently misparsed
+	// into wrong pairs... unless a coincidental parse succeeds — then it
+	// must at least not be trusted for this batch shape.
+	if legacy, err := ParseReplBatchFlags(p, 0); err == nil {
+		if len(legacy.Records) == len(b.Records) && legacy.Records[0].Seq == b.Records[0].Seq &&
+			len(legacy.Records[0].Pairs) == len(b.Records[0].Pairs) {
+			t.Fatal("traced payload parsed identically under the legacy layout")
+		}
+	}
+	// Legacy encoding drops traces; parsing it with the flag cleared
+	// round-trips with zero traces.
+	lp := AppendReplBatch(nil, b)
+	lb, err := ParseReplBatchFlags(lp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range lb.Records {
+		if r.Trace != 0 {
+			t.Fatalf("legacy record %d carries trace %#x", i, r.Trace)
+		}
+	}
+}

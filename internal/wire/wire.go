@@ -9,14 +9,25 @@
 //
 //	offset  size  field
 //	0       4     magic  = frameMagic ("SIHW")
-//	4       4     length — payload bytes n
+//	4       4     length — payload bytes n (extensions excluded)
 //	8       8     id     — request id, echoed on the response; clients
 //	              pipeline many frames per connection and demultiplex
 //	              responses by id
 //	16      1     type   — message Type
-//	17      3     reserved (zero)
+//	17      1     flags  — frame extensions (zero on legacy frames)
+//	18      2     reserved (zero)
 //	20      n     payload (type-specific)
-//	20+n    4     crc    — CRC-32C (Castagnoli) over bytes [0, 20+n)
+//	20+n    8     trace  — trace id, present only when FlagTrace is set
+//	...     4     crc    — CRC-32C (Castagnoli) over everything before it
+//
+// The flags byte was reserved (and written as zero) before the tracing
+// extension, so every unflagged frame is byte-identical to the legacy
+// encoding. A flagged frame carries its extensions *after* the payload
+// and *before* the CRC, excluded from the length field; receivers that
+// understand flags skip them structurally, receivers that don't reject
+// the frame at the CRC check — extension bits are therefore only set
+// toward peers that advertised them (here: within one repo version).
+// Unknown flag bits are a framing error.
 //
 // The framing is self-validating: a receiver accepts a frame only when
 // magic, length bound and CRC all check out, so a torn or corrupted
@@ -49,6 +60,26 @@ const (
 	MaxTxnOps = 1 << 12
 	// MaxScanLen bounds one SCAN's entry count.
 	MaxScanLen = 1 << 12
+)
+
+// Frame flag bits (header byte 17).
+const (
+	// FlagTrace marks a frame carrying an 8-byte trace id between the
+	// payload and the CRC. The id propagates a request's identity across
+	// process boundaries: loadgen → server on TTxn, echoed back on
+	// TReply, leader → follower on TReplBatch frames.
+	FlagTrace uint8 = 0x01
+	// FlagReplTrace marks a TReplBatch payload whose record headers carry
+	// a per-record trace id (the id of the last client request contained
+	// in that commit) — see AppendReplBatchT.
+	FlagReplTrace uint8 = 0x02
+
+	// flagsKnown is every bit this version understands; anything else is
+	// corruption or a future version this receiver cannot frame.
+	flagsKnown = FlagTrace | FlagReplTrace
+
+	// traceExtBytes is the size of the FlagTrace extension.
+	traceExtBytes = 8
 )
 
 // castagnoli is the CRC-32C table shared with the WAL framing.
@@ -144,18 +175,33 @@ var ErrBadFrame = errors.New("wire: bad frame")
 // slice. Allocation-free when buf has capacity.
 func AppendFrame(buf []byte, id uint64, t Type, payload []byte) []byte {
 	start := len(buf)
-	buf = appendHeader(buf, id, t, len(payload))
+	buf = appendHeader(buf, id, t, 0, len(payload))
 	buf = append(buf, payload...)
 	return sealFrame(buf, start)
 }
 
+// AppendFrameT encodes one frame carrying flag extensions. A trace id
+// is appended (and FlagTrace implied) whenever trace is nonzero; a zero
+// trace with zero extra flags degenerates to the legacy encoding
+// byte-for-byte. Allocation-free when buf has capacity.
+func AppendFrameT(buf []byte, id uint64, t Type, flags uint8, trace uint64, payload []byte) []byte {
+	if trace != 0 {
+		flags |= FlagTrace
+	}
+	start := len(buf)
+	buf = appendHeader(buf, id, t, flags, len(payload))
+	buf = append(buf, payload...)
+	return sealFrameT(buf, start, flags, trace)
+}
+
 // appendHeader encodes a frame header claiming an n-byte payload.
-func appendHeader(buf []byte, id uint64, t Type, n int) []byte {
+func appendHeader(buf []byte, id uint64, t Type, flags uint8, n int) []byte {
 	var hdr [headerBytes]byte
 	binary.LittleEndian.PutUint32(hdr[0:], frameMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(n))
 	binary.LittleEndian.PutUint64(hdr[8:], id)
 	hdr[16] = byte(t)
+	hdr[17] = flags
 	return append(buf, hdr[:]...)
 }
 
@@ -166,11 +212,43 @@ func appendHeader(buf []byte, id uint64, t Type, n int) []byte {
 // buffer (AppendOpsFrame, AppendResultsFrame) with no intermediate
 // payload slice.
 func sealFrame(buf []byte, start int) []byte {
-	binary.LittleEndian.PutUint32(buf[start+4:], uint32(len(buf)-start-headerBytes))
+	return sealFrameExt(buf, start, 0)
+}
+
+// sealFrameT appends the extensions the flags announce (currently: the
+// FlagTrace id) and seals the frame with the length field covering the
+// payload only.
+func sealFrameT(buf []byte, start int, flags uint8, trace uint64) []byte {
+	ext := 0
+	if flags&FlagTrace != 0 {
+		var tb [traceExtBytes]byte
+		binary.LittleEndian.PutUint64(tb[:], trace)
+		buf = append(buf, tb[:]...)
+		ext = traceExtBytes
+	}
+	return sealFrameExt(buf, start, ext)
+}
+
+// sealFrameExt seals a frame whose last ext appended bytes are flag
+// extensions rather than payload: the length field must exclude them.
+func sealFrameExt(buf []byte, start, ext int) []byte {
+	binary.LittleEndian.PutUint32(buf[start+4:], uint32(len(buf)-start-headerBytes-ext))
 	crc := crc32.Checksum(buf[start:], castagnoli)
 	var tr [trailerBytes]byte
 	binary.LittleEndian.PutUint32(tr[:], crc)
 	return append(buf, tr[:]...)
+}
+
+// extBytes returns the extension size the flags announce, or an error
+// on unknown bits.
+func extBytes(flags uint8) (int, error) {
+	if flags&^flagsKnown != 0 {
+		return 0, fmt.Errorf("%w: unknown flag bits 0x%02x", ErrBadFrame, flags&^flagsKnown)
+	}
+	if flags&FlagTrace != 0 {
+		return traceExtBytes, nil
+	}
+	return 0, nil
 }
 
 // ParseFrame decodes the frame at the head of b. size is the framed
@@ -179,27 +257,43 @@ func sealFrame(buf []byte, start int) []byte {
 // otherwise-valid but incomplete frame returns ErrShortFrame so stream
 // readers can wait for more bytes.
 func ParseFrame(b []byte) (id uint64, t Type, payload []byte, size int, err error) {
+	id, t, _, _, payload, size, err = ParseFrameT(b)
+	return id, t, payload, size, err
+}
+
+// ParseFrameT is ParseFrame plus the flag extensions: it additionally
+// returns the frame's flags byte and the trace id (zero when FlagTrace
+// is unset). Unknown flag bits are an ErrBadFrame.
+func ParseFrameT(b []byte) (id uint64, t Type, flags uint8, trace uint64, payload []byte, size int, err error) {
 	if len(b) < headerBytes {
-		return 0, 0, nil, 0, ErrShortFrame
+		return 0, 0, 0, 0, nil, 0, ErrShortFrame
 	}
 	if binary.LittleEndian.Uint32(b[0:]) != frameMagic {
-		return 0, 0, nil, 0, fmt.Errorf("%w: bad magic", ErrBadFrame)
+		return 0, 0, 0, 0, nil, 0, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
 	n := binary.LittleEndian.Uint32(b[4:])
 	if n > MaxPayload {
-		return 0, 0, nil, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
+		return 0, 0, 0, 0, nil, 0, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
 	}
-	size = headerBytes + int(n) + trailerBytes
+	flags = b[17]
+	ext, err := extBytes(flags)
+	if err != nil {
+		return 0, 0, 0, 0, nil, 0, err
+	}
+	size = headerBytes + int(n) + ext + trailerBytes
 	if len(b) < size {
-		return 0, 0, nil, 0, ErrShortFrame
+		return 0, 0, 0, 0, nil, 0, ErrShortFrame
 	}
 	want := binary.LittleEndian.Uint32(b[size-trailerBytes:])
 	if crc32.Checksum(b[:size-trailerBytes], castagnoli) != want {
-		return 0, 0, nil, 0, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+		return 0, 0, 0, 0, nil, 0, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+	}
+	if flags&FlagTrace != 0 {
+		trace = binary.LittleEndian.Uint64(b[headerBytes+int(n):])
 	}
 	id = binary.LittleEndian.Uint64(b[8:])
 	t = Type(b[16])
-	return id, t, b[headerBytes : headerBytes+int(n)], size, nil
+	return id, t, flags, trace, b[headerBytes : headerBytes+int(n)], size, nil
 }
 
 // ErrShortFrame marks an incomplete (but so-far-valid) frame prefix: a
@@ -212,21 +306,34 @@ var ErrShortFrame = errors.New("wire: short frame")
 // failures return the underlying I/O error (io.EOF only at a clean
 // frame boundary).
 func ReadFrame(r io.Reader, buf []byte) (id uint64, t Type, payload, nbuf []byte, err error) {
+	id, t, _, _, payload, nbuf, err = ReadFrameT(r, buf)
+	return id, t, payload, nbuf, err
+}
+
+// ReadFrameT is ReadFrame plus the flag extensions: it additionally
+// returns the frame's flags byte and the trace id (zero when FlagTrace
+// is unset). Unknown flag bits are an ErrBadFrame.
+func ReadFrameT(r io.Reader, buf []byte) (id uint64, t Type, flags uint8, trace uint64, payload, nbuf []byte, err error) {
 	if cap(buf) < headerBytes {
 		buf = make([]byte, 0, 4096)
 	}
 	hdr := buf[:headerBytes]
 	if _, err := io.ReadFull(r, hdr); err != nil {
-		return 0, 0, nil, buf, err
+		return 0, 0, 0, 0, nil, buf, err
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != frameMagic {
-		return 0, 0, nil, buf, fmt.Errorf("%w: bad magic", ErrBadFrame)
+		return 0, 0, 0, 0, nil, buf, fmt.Errorf("%w: bad magic", ErrBadFrame)
 	}
 	n := binary.LittleEndian.Uint32(hdr[4:])
 	if n > MaxPayload {
-		return 0, 0, nil, buf, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
+		return 0, 0, 0, 0, nil, buf, fmt.Errorf("%w: payload length %d exceeds %d", ErrBadFrame, n, MaxPayload)
 	}
-	size := headerBytes + int(n) + trailerBytes
+	flags = hdr[17]
+	ext, err := extBytes(flags)
+	if err != nil {
+		return 0, 0, 0, 0, nil, buf, err
+	}
+	size := headerBytes + int(n) + ext + trailerBytes
 	if cap(buf) < size {
 		nb := make([]byte, size, size+size/2)
 		copy(nb, hdr)
@@ -237,13 +344,16 @@ func ReadFrame(r io.Reader, buf []byte) (id uint64, t Type, payload, nbuf []byte
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return 0, 0, nil, buf, err
+		return 0, 0, 0, 0, nil, buf, err
 	}
 	want := binary.LittleEndian.Uint32(frame[size-trailerBytes:])
 	if crc32.Checksum(frame[:size-trailerBytes], castagnoli) != want {
-		return 0, 0, nil, buf, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+		return 0, 0, 0, 0, nil, buf, fmt.Errorf("%w: CRC mismatch", ErrBadFrame)
+	}
+	if flags&FlagTrace != 0 {
+		trace = binary.LittleEndian.Uint64(frame[headerBytes+int(n):])
 	}
 	id = binary.LittleEndian.Uint64(frame[8:])
 	t = Type(frame[16])
-	return id, t, frame[headerBytes : headerBytes+int(n)], buf, nil
+	return id, t, flags, trace, frame[headerBytes : headerBytes+int(n)], buf, nil
 }

@@ -6,10 +6,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sihtm/internal/memsim"
 	"sihtm/internal/stats"
 	"sihtm/internal/tm"
+	"sihtm/internal/trace"
 	"sihtm/internal/wire"
 )
 
@@ -72,6 +74,31 @@ func (b *RemoteBackend) Close() error {
 
 // Name implements Backend.
 func (b *RemoteBackend) Name() string { return "remote" }
+
+// clientTracer is the backend's shared tracing state: one sampler and
+// id stream across the pool, one ring collecting client spans.
+type clientTracer struct {
+	ring    *trace.Ring
+	sampler *trace.Sampler
+	ids     *trace.IDGen
+}
+
+// EnableTracing samples every n-th transaction with a fresh trace id
+// (1 traces everything): the id rides the TXN frame's trace extension,
+// the server threads it through its stages, and the synchronous client
+// records a KClient span per traced round trip into the returned ring.
+// Call before traffic starts.
+func (b *RemoteBackend) EnableTracing(every int) *trace.Ring {
+	tr := &clientTracer{
+		ring:    trace.NewRing(trace.DefaultRingSpans),
+		sampler: trace.NewSampler(every),
+		ids:     trace.NewIDGen(uint64(time.Now().UnixNano())),
+	}
+	for _, c := range b.conns {
+		c.tr = tr
+	}
+	return tr.ring
+}
 
 // NewSession implements Backend: the session pipelines on the pool's
 // next connection.
@@ -341,6 +368,7 @@ var _ tm.System = (*RemoteSystem)(nil)
 type clientConn struct {
 	c  net.Conn
 	bw *bufio.Writer
+	tr *clientTracer // nil unless EnableTracing ran
 
 	wmu    sync.Mutex // serializes frame encode+write+flush
 	wbuf   []byte
@@ -455,6 +483,15 @@ func (c *clientConn) roundTrip(t wire.Type, payload []byte) (wire.Type, []byte, 
 // frame as given. The returned payload aliases w.buf and is valid until
 // w's next request.
 func (c *clientConn) do(w *waiter, t wire.Type, payload []byte, ops []wire.Op) (wire.Type, []byte, error) {
+	// Head-based sampling happens here, at the single point every
+	// data-plane transaction funnels through; the id rides the frame's
+	// trace extension and the span closes when the reply lands.
+	var traceID uint64
+	var traceT0 time.Time
+	if tr := c.tr; tr != nil && ops != nil && tr.sampler.Sample() {
+		traceID = tr.ids.Next()
+		traceT0 = time.Now()
+	}
 	c.wmu.Lock()
 	c.nextID++
 	id := c.nextID
@@ -467,7 +504,7 @@ func (c *clientConn) do(w *waiter, t wire.Type, payload []byte, ops []wire.Op) (
 	c.pending[id] = w
 	c.pmu.Unlock()
 	if ops != nil {
-		c.wbuf = wire.AppendOpsFrame(c.wbuf[:0], id, ops)
+		c.wbuf = wire.AppendOpsFrameT(c.wbuf[:0], id, traceID, ops)
 	} else {
 		c.wbuf = wire.AppendFrame(c.wbuf[:0], id, t, payload)
 	}
@@ -487,6 +524,15 @@ func (c *clientConn) do(w *waiter, t wire.Type, payload []byte, ops []wire.Op) (
 	r := <-w.ch
 	if r.err != nil {
 		return 0, nil, r.err
+	}
+	if traceID != 0 {
+		c.tr.ring.Add(trace.Span{
+			Trace: traceID,
+			Kind:  trace.KClient,
+			Start: traceT0.UnixNano(),
+			Dur:   int64(time.Since(traceT0)),
+			Arg:   int64(len(ops)),
+		})
 	}
 	return r.t, w.buf[:r.n], nil
 }
