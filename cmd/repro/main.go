@@ -64,6 +64,10 @@ func main() {
 		err = cmdPromote(os.Args[2:])
 	case "trace":
 		err = cmdTrace(os.Args[2:])
+	case "monitor":
+		err = cmdMonitor(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "-h", "--help", "help":
@@ -93,6 +97,8 @@ commands:
   loadgen                   drive the net-* cells against a live server, write results
   promote                   promote a follower after leader death (zero acked loss)
   trace                     merge /debug/traces rings into a Chrome trace_event file
+  monitor                   live terminal dashboard over /debug/timeseries + /debug/alerts
+  report                    post-run incident report from timeseries + alerts + traces
   compare                   compare two result files for regressions
 
 serve flags:
@@ -109,7 +115,9 @@ serve flags:
   --checkpoint-every=DUR    fuzzy checkpoint interval (default 1s; 0 disables)
   --follow=HOST:PORT        serve as a read replica of the durable leader at ADDR
   --leader-log=PATH         shared-storage path of the leader's wal.log (for promotion)
-  --metrics-addr=HOST:PORT  observability plane: /metrics, /healthz, /readyz, /debug/pprof
+  --metrics-addr=HOST:PORT  observability plane: /metrics, /healthz, /readyz, /debug/pprof,
+                            /debug/traces, /debug/timeseries, /debug/alerts
+  --scrape-interval=DUR     tsdb self-scrape / alert evaluation cadence (default 1s)
   --trace-slow=DUR          log per-stage lifecycle traces for requests slower than DUR
 
 promote flags:
@@ -121,6 +129,19 @@ trace flags + args:
   NODE=URL-or-FILE ...      sources: per-node /debug/traces URLs or saved JSONL files
                             (e.g. leader=http://127.0.0.1:9464/debug/traces)
 
+monitor flags + args:
+  --interval=DUR            refresh cadence (default 1s)
+  --window=DUR              rate/percentile window (default 10s)
+  --once                    render a single frame and exit (no screen clearing)
+  --duration=DUR            stop after DUR (default 0: run until interrupted)
+  NODE=URL ...              metrics listeners to poll (e.g. leader=http://127.0.0.1:9464)
+
+report flags + args:
+  --out=FILE                markdown output (default report.md; '-' = stdout)
+  --title=STR               report title (default "run")
+  --bench=FILE              attach final stats from a BENCH JSON file
+  NODE=URL ...              metrics listeners to collect from (timeseries + alerts + traces)
+
 loadgen flags:
   --addr=HOST:PORT          server address (required)
   --id=a,b                  net entries (default: all, incl. net-connscale)
@@ -128,6 +149,7 @@ loadgen flags:
   --conns=N                 open-loop mode: drive N connections at --arrival instead of --id
   --arrival=poisson:RATE    open-loop arrival process, total ops/sec (or uniform:RATE)
   --trace-every=N           open-loop mode: stamp every n-th request with a trace id (1 = all)
+  --window=DUR              open-loop mode: override the scale preset's measurement window
   --out=FILE                JSON results (default BENCH_repro.json)
   --md=FILE                 markdown tables ('-' = stdout, '' = none; default BENCH_repro.md)
 

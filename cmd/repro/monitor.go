@@ -1,0 +1,83 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sihtm/internal/monitor"
+)
+
+// parseMonitorNodes resolves NODE=URL args into named nodes. A bare URL
+// gets a positional name ("node-0", ...).
+func parseMonitorNodes(args []string) ([]monitor.Node, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("need at least one NODE=URL arg (e.g. leader=http://127.0.0.1:9464)")
+	}
+	nodes := make([]monitor.Node, 0, len(args))
+	for i, arg := range args {
+		name := fmt.Sprintf("node-%d", i)
+		base := arg
+		if n, rest, ok := strings.Cut(arg, "="); ok && n != "" && !strings.HasPrefix(arg, "http") {
+			name, base = n, rest
+		}
+		if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+			return nil, fmt.Errorf("node %s: base %q is not an http(s) URL", name, base)
+		}
+		nodes = append(nodes, monitor.Node{Name: name, Base: base})
+	}
+	return nodes, nil
+}
+
+// cmdMonitor is the live terminal dashboard: it polls every node's
+// /debug/timeseries and /debug/alerts on an interval and redraws a
+// compact per-node panel — throughput, abort mix, stage p99s, WAL and
+// replication state, and the active alert set.
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	var (
+		interval = fs.Duration("interval", time.Second, "refresh cadence")
+		window   = fs.Duration("window", 10*time.Second, "trailing window for rates and percentiles")
+		once     = fs.Bool("once", false, "render a single frame and exit")
+		duration = fs.Duration("duration", 0, "stop after this long (0 = until interrupted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nodes, err := parseMonitorNodes(fs.Args())
+	if err != nil {
+		return err
+	}
+
+	poll := func() []monitor.Frame {
+		frames := make([]monitor.Frame, len(nodes))
+		for i, n := range nodes {
+			frames[i] = monitor.Poll(n, *window)
+		}
+		return frames
+	}
+	if *once {
+		monitor.Render(os.Stdout, poll(), *window)
+		return nil
+	}
+
+	var deadline time.Time
+	if *duration > 0 {
+		deadline = time.Now().Add(*duration)
+	}
+	for {
+		frames := poll()
+		// Home the cursor and clear before each redraw so the dashboard
+		// repaints in place instead of scrolling.
+		fmt.Fprint(os.Stdout, "\033[H\033[2J")
+		fmt.Fprintf(os.Stdout, "repro monitor — %s  (window %s, refresh %s)\n\n",
+			time.Now().Format("15:04:05"), window, interval)
+		monitor.Render(os.Stdout, frames, *window)
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

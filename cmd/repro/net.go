@@ -37,7 +37,8 @@ func cmdServe(args []string) error {
 		ckptEvery   = fs.Duration("checkpoint-every", time.Second, "fuzzy checkpoint interval (0 disables)")
 		follow      = fs.String("follow", "", "serve as a read replica of the durable leader at ADDR")
 		leaderLog   = fs.String("leader-log", "", "shared-storage path of the leader's wal.log (promotion catch-up)")
-		metricsAddr = fs.String("metrics-addr", "", "observability address: /metrics, /healthz, /readyz, /debug/pprof")
+		metricsAddr = fs.String("metrics-addr", "", "observability address: /metrics, /healthz, /readyz, /debug/pprof, /debug/traces, /debug/timeseries, /debug/alerts")
+		scrapeIv    = fs.Duration("scrape-interval", 0, "time-series self-scrape cadence (0 = default 1s; needs --metrics-addr)")
 		traceSlow   = fs.Duration("trace-slow", 0, "log a per-stage lifecycle trace for requests slower than this (0 disables)")
 		quiet       = fs.Bool("quiet", false, "suppress the per-second stats line")
 	)
@@ -47,21 +48,22 @@ func cmdServe(args []string) error {
 	// The connection-scale ladder may aim thousands of connections here.
 	loadgen.RaiseFDLimit()
 	ns, err := experiments.StartNetServer(experiments.ServeConfig{
-		Addr:          *addr,
-		Scenario:      *scenario,
-		System:        *system,
-		ScaleName:     *scaleName,
-		Shards:        *shards,
-		BatchMax:      *batch,
-		AdmitWait:     *admitWait,
-		P99Target:     *p99Target,
-		DurableDir:    *dir,
-		Window:        *window,
-		CkptEvery:     *ckptEvery,
-		FollowAddr:    *follow,
-		LeaderLogPath: *leaderLog,
-		MetricsAddr:   *metricsAddr,
-		TraceSlow:     *traceSlow,
+		Addr:           *addr,
+		Scenario:       *scenario,
+		System:         *system,
+		ScaleName:      *scaleName,
+		Shards:         *shards,
+		BatchMax:       *batch,
+		AdmitWait:      *admitWait,
+		P99Target:      *p99Target,
+		DurableDir:     *dir,
+		Window:         *window,
+		CkptEvery:      *ckptEvery,
+		FollowAddr:     *follow,
+		LeaderLogPath:  *leaderLog,
+		MetricsAddr:    *metricsAddr,
+		ScrapeInterval: *scrapeIv,
+		TraceSlow:      *traceSlow,
 	})
 	if err != nil {
 		return err
@@ -187,6 +189,7 @@ func cmdLoadgen(args []string) error {
 		conns     = fs.Int("conns", 0, "open-loop mode: drive this many connections at --arrival")
 		arrival   = fs.String("arrival", "poisson:20000", "open-loop arrival process: poisson:RATE or uniform:RATE (total ops/sec)")
 		traceEv   = fs.Int("trace-every", 0, "open-loop mode: stamp every n-th request with a trace id (1 = all, 0 = off)")
+		window    = fs.Duration("window", 0, "open-loop mode: override the scale preset's measurement window")
 		out       = fs.String("out", "BENCH_repro.json", "JSON output path")
 		md        = fs.String("md", "BENCH_repro.md", "markdown output path ('-' = stdout, '' = none)")
 		quiet     = fs.Bool("quiet", false, "suppress per-point progress")
@@ -214,6 +217,9 @@ func cmdLoadgen(args []string) error {
 		a, err := loadgen.ParseArrival(*arrival)
 		if err != nil {
 			return err
+		}
+		if *window > 0 {
+			sc.Measure = *window
 		}
 		r, err := experiments.RunOpenLoop(*addr, *conns, a, sc, *traceEv)
 		if err != nil {

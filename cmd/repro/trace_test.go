@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Two saved rings with fixed timestamps: the leader's request stages
+// plus a process-scoped fsync, and a follower ring whose first span
+// shares the leader's trace id (the cross-node join) and whose second
+// line carries an embedded node label (the shape of a previously merged
+// file).
+const leaderRing = `{"trace":"42","kind":"request","seq":1,"start_ns":1000000,"dur_ns":20000}
+{"trace":"42","kind":"admit","seq":1,"start_ns":1001000,"dur_ns":5000}
+{"trace":"42","kind":"exec","seq":1,"start_ns":1007000,"dur_ns":8000,"arg":4}
+{"kind":"fsync","seq":7,"start_ns":1030000,"dur_ns":3000,"arg":2}
+`
+
+const followerRing = `{"trace":"42","kind":"repl_apply","seq":7,"start_ns":1040000,"dur_ns":2000,"arg":7}
+{"kind":"repl_apply","seq":8,"start_ns":1050000,"dur_ns":1500,"arg":8,"node":"follower-embedded"}
+`
+
+// goldenMerge is the exact Chrome trace_event document the merge must
+// produce: events globally sorted by timestamp (every fixture Ts is
+// distinct, so the sort is deterministic), trace-scoped spans grouped
+// under tid "trace-<id>", process-scoped spans under "wal", and the
+// duplicate trace id 42 present under both the leader and follower
+// pids — the cross-node join a viewer relies on.
+const goldenMerge = `{"traceEvents":[` +
+	`{"name":"request","ph":"X","ts":1000,"dur":20,"pid":"leader","tid":"trace-42","args":{"seq":1}},` +
+	`{"name":"admit","ph":"X","ts":1001,"dur":5,"pid":"leader","tid":"trace-42","args":{"seq":1}},` +
+	`{"name":"exec","ph":"X","ts":1007,"dur":8,"pid":"leader","tid":"trace-42","args":{"arg":4,"seq":1}},` +
+	`{"name":"fsync","ph":"X","ts":1030,"dur":3,"pid":"leader","tid":"wal","args":{"arg":2,"seq":7}},` +
+	`{"name":"repl_apply","ph":"X","ts":1040,"dur":2,"pid":"follower-0","tid":"trace-42","args":{"arg":7,"seq":7}},` +
+	`{"name":"repl_apply","ph":"X","ts":1050,"dur":1.5,"pid":"follower-embedded","tid":"wal","args":{"arg":8,"seq":8}}` +
+	"]}\n"
+
+func writeRings(t *testing.T) (leader, follower string) {
+	t.Helper()
+	dir := t.TempDir()
+	leader = filepath.Join(dir, "leader.jsonl")
+	follower = filepath.Join(dir, "follower.jsonl")
+	if err := os.WriteFile(leader, []byte(leaderRing), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(follower, []byte(followerRing), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return leader, follower
+}
+
+// TestTraceMergeGolden pins the FILE-input merge path of `repro trace`
+// byte for byte.
+func TestTraceMergeGolden(t *testing.T) {
+	leader, follower := writeRings(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := cmdTrace([]string{"--out", out, "leader=" + leader, "follower-0=" + follower}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != goldenMerge {
+		t.Fatalf("merged trace drifted from golden:\n got: %s\nwant: %s", got, goldenMerge)
+	}
+}
+
+// TestTraceMergeFilter checks --trace restricts the merge to one id
+// while keeping the cross-node join (both pids still present).
+func TestTraceMergeFilter(t *testing.T) {
+	leader, follower := writeRings(t)
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := cmdTrace([]string{"--out", out, "--trace", "42", "leader=" + leader, "follower-0=" + follower}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(got)
+	if strings.Contains(s, `"wal"`) {
+		t.Fatalf("filtered merge kept process-scoped spans:\n%s", s)
+	}
+	if n := strings.Count(s, `"tid":"trace-42"`); n != 4 {
+		t.Fatalf("filtered merge has %d trace-42 events, want 4:\n%s", n, s)
+	}
+	for _, pid := range []string{`"pid":"leader"`, `"pid":"follower-0"`} {
+		if !strings.Contains(s, pid) {
+			t.Fatalf("filtered merge lost the cross-node join (%s missing):\n%s", pid, s)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sihtm/internal/alert"
 	"sihtm/internal/durable"
 	"sihtm/internal/harness"
 	"sihtm/internal/replica"
@@ -19,6 +20,7 @@ import (
 	"sihtm/internal/telemetry"
 	"sihtm/internal/topology"
 	"sihtm/internal/trace"
+	"sihtm/internal/tsdb"
 	"sihtm/internal/wire"
 	"sihtm/internal/workload/engine"
 	"sihtm/internal/workload/ycsb"
@@ -523,7 +525,7 @@ func netDurableEntry() Entry {
 // netEntries builds the networked scenario entries in presentation
 // order.
 func netEntries() []Entry {
-	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry(), netObserveEntry(), netTraceEntry()}
+	return []Entry{netYCSBEntry(), netWindowEntry(), netDurableEntry(), connScaleEntry(), netObserveEntry(), netTraceEntry(), netSLOEntry()}
 }
 
 // NetEntryIDs lists the networked registry entries `repro loadgen` can
@@ -586,6 +588,10 @@ type ServeConfig struct {
 	// TraceSlow, when positive, logs a rate-limited per-stage lifecycle
 	// trace for every request slower end-to-end than this threshold.
 	TraceSlow time.Duration
+	// ScrapeInterval is the tsdb self-scrape / alert evaluation cadence
+	// of the observability plane (default 1s; only meaningful with
+	// MetricsAddr).
+	ScrapeInterval time.Duration
 }
 
 // NetServer is a running `repro serve` instance.
@@ -598,10 +604,12 @@ type NetServer struct {
 	// ServeConfig.MetricsAddr was set).
 	Metrics *telemetry.Server
 
-	store *durable.Store
-	fol   *replica.Follower
-	cfg   ServeConfig
-	ckpt  *checkpointer
+	store  *durable.Store
+	fol    *replica.Follower
+	cfg    ServeConfig
+	ckpt   *checkpointer
+	ts     *tsdb.Store
+	alerts *alert.Engine
 }
 
 // StartNetServer builds the scenario (populated, optionally durable)
@@ -737,34 +745,38 @@ func StartNetServer(cfg ServeConfig) (*NetServer, error) {
 		ns.fol.Start()
 	}
 	if cfg.MetricsAddr != "" {
-		// Readiness: a draining server admits nothing; an unpromoted
-		// follower is additionally ready only while caught up with the
-		// leader or still making progress (a stalled watermark behind a
-		// live leader means reads serve an ever-staler snapshot).
-		fol := ns.fol
-		srv := ns.Srv
-		var mu sync.Mutex
-		var lastWM uint64
-		ready := func() error {
-			if srv.Draining() {
-				return fmt.Errorf("draining")
-			}
-			if fol != nil && !fol.Promoted() {
-				wm, leader := fol.Watermark(), fol.LeaderSeq()
-				mu.Lock()
-				advanced := wm > lastWM
-				if advanced {
-					lastWM = wm
-				}
-				mu.Unlock()
-				if wm < leader && !advanced {
-					return fmt.Errorf("replication stalled: watermark %d behind leader %d and not advancing", wm, leader)
-				}
-			}
-			return nil
+		var fp followerProbe
+		if ns.fol != nil {
+			fp = ns.fol
 		}
+		ready := readyProbe(ns.Srv.Draining, fp)
+
+		// The analysis layer: the tsdb self-scrapes the registry and the
+		// alert engine evaluates the role-appropriate rule set on every
+		// scrape. Built before the listener so /debug/timeseries and
+		// /debug/alerts are live from the first request.
+		interval := cfg.ScrapeInterval
+		if interval <= 0 {
+			interval = tsdb.DefaultInterval
+		}
+		ns.ts = tsdb.New(ns.Srv.Telemetry(), tsdb.Config{Interval: interval})
+		ns.alerts, err = alert.New(ns.ts, ns.Srv.Telemetry(), alert.DefaultRules(alert.RuleOptions{
+			System:    cfg.System,
+			Interval:  interval,
+			P99Target: cfg.P99Target,
+			Durable:   ns.store != nil,
+			Follower:  ns.fol != nil,
+			Leader:    ns.store != nil, // durable leaders own the replication publisher
+		}), os.Stderr)
+		if err != nil {
+			ns.Shutdown()
+			return nil, fmt.Errorf("experiments: alert rules: %w", err)
+		}
+		ns.ts.Start()
 		ns.Metrics, err = telemetry.ListenAndServe(cfg.MetricsAddr, ns.Srv.Telemetry(), ready,
-			telemetry.Extra{Path: "/debug/traces", Handler: trace.Handler(ns.Srv.TraceRing())})
+			telemetry.Extra{Path: "/debug/traces", Handler: trace.Handler(ns.Srv.TraceRing())},
+			telemetry.Extra{Path: "/debug/timeseries", Handler: tsdb.Handler(ns.ts)},
+			telemetry.Extra{Path: "/debug/alerts", Handler: alert.Handler(ns.alerts)})
 		if err != nil {
 			ns.Shutdown()
 			return nil, fmt.Errorf("experiments: metrics listener: %w", err)
@@ -784,6 +796,11 @@ func (ns *NetServer) Shutdown() error {
 	if ns.Metrics != nil {
 		err = ns.Metrics.Close()
 		ns.Metrics = nil
+	}
+	if ns.ts != nil {
+		ns.ts.Close()
+		ns.ts = nil
+		ns.alerts = nil
 	}
 	if herr := ns.ckpt.halt(); err == nil {
 		err = herr

@@ -98,7 +98,7 @@ func (e Entry) record(param string, hr harness.Result) results.Record {
 var registryIDs = append(append(append([]string{}, FigureOrder...),
 	"ycsb-a", "ycsb-b", "ycsb-c", "zipf", "vacation-low", "vacation-high",
 	"durable-ycsb-a", "durable-vacation", "durable-window",
-	"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a", "net-connscale", "net-observe", "net-trace",
+	"net-ycsb-a", "net-batch-window", "net-durable-ycsb-a", "net-connscale", "net-observe", "net-trace", "net-slo",
 	"repl-ycsb-c", "repl-failover"),
 	"capacity", "tmcam", "rofast", "killer", "smt")
 

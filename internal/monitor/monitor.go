@@ -1,0 +1,164 @@
+// Package monitor is the live terminal dashboard behind `repro
+// monitor`: it polls one or more nodes' /debug/timeseries and
+// /debug/alerts surfaces and renders a compact per-node panel —
+// throughput, abort-cause mix, stage latencies, replication lag, and
+// the active alert set. Rates are computed client-side from the dumped
+// counter trajectories, so the monitor needs nothing beyond the two
+// JSON endpoints and works identically against a live server or a
+// replayed dump.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"sihtm/internal/alert"
+	"sihtm/internal/tsdb"
+)
+
+// Node names one polled metrics listener.
+type Node struct {
+	Name string
+	Base string // "http://host:port"
+}
+
+// Frame is one node's polled state (Err set when the poll failed —
+// the dashboard renders the error in place of the panel).
+type Frame struct {
+	Node   Node
+	TS     tsdb.Dump
+	Alerts alert.Dump
+	Err    error
+}
+
+// Poll fetches one node's dump pair, trimmed to the trailing window.
+func Poll(n Node, window time.Duration) Frame {
+	f := Frame{Node: n}
+	base := strings.TrimSuffix(n.Base, "/")
+	url := base + "/debug/timeseries"
+	if window > 0 {
+		url += "?window=" + window.String()
+	}
+	if f.Err = getJSON(url, &f.TS); f.Err != nil {
+		return f
+	}
+	f.Err = getJSON(base+"/debug/alerts", &f.Alerts)
+	return f
+}
+
+func getJSON(url string, into any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return json.NewDecoder(resp.Body).Decode(into)
+}
+
+// sumRate sums the window rate of every series of a family.
+func sumRate(d *tsdb.Dump, name string, window time.Duration) float64 {
+	var sum float64
+	for _, ds := range d.Find(name) {
+		if r, ok := d.ScalarRate(ds, window); ok {
+			sum += r
+		}
+	}
+	return sum
+}
+
+// Render writes one dashboard block for the polled frames.
+func Render(w io.Writer, frames []Frame, window time.Duration) {
+	for _, f := range frames {
+		fmt.Fprintf(w, "== %s (%s)\n", f.Node.Name, f.Node.Base)
+		if f.Err != nil {
+			fmt.Fprintf(w, "  UNREACHABLE: %v\n\n", f.Err)
+			continue
+		}
+		d := &f.TS
+		fmt.Fprintf(w, "  window      %d points x %.0fms (%d scrape overruns)\n",
+			len(d.TimesNs), d.IntervalMs, d.ScrapeOverruns)
+
+		commitRate := sumRate(d, "sihtm_tm_commits_total", window)
+		fmt.Fprintf(w, "  throughput  %.0f tx/s\n", commitRate)
+
+		abortRate := sumRate(d, "sihtm_tm_aborts_total", window)
+		attempts := commitRate + abortRate
+		var mix []string
+		for _, ds := range d.Find("sihtm_tm_aborts_total") {
+			r, ok := d.ScalarRate(ds, window)
+			if !ok || attempts <= 0 || r <= 0 {
+				continue
+			}
+			mix = append(mix, fmt.Sprintf("%s %.1f%%", ds.Labels["cause"], 100*r/attempts))
+		}
+		if len(mix) == 0 {
+			mix = []string{"none"}
+		}
+		fmt.Fprintf(w, "  aborts      %s\n", strings.Join(mix, "  "))
+
+		var stages []string
+		for _, fam := range []struct{ name, label string }{
+			{"sihtm_server_admission_wait_seconds", "admit"},
+			{"sihtm_server_batch_exec_seconds", "exec"},
+			{"sihtm_server_reply_flush_seconds", "flush"},
+			{"sihtm_server_service_seconds", "service"},
+		} {
+			for _, ds := range d.Find(fam.name) {
+				if p99 := ds.LastP99Us(8); p99 > 0 {
+					stages = append(stages, fmt.Sprintf("%s %.0fµs", fam.label, p99))
+				}
+			}
+		}
+		if len(stages) > 0 {
+			fmt.Fprintf(w, "  stage p99   %s\n", strings.Join(stages, "  "))
+		}
+
+		if fsync := d.Find("sihtm_wal_fsync_seconds"); len(fsync) > 0 {
+			line := fmt.Sprintf("  wal         fsync p99 %.0fµs", fsync[0].LastP99Us(8))
+			if seq := d.Find("sihtm_wal_durable_seq"); len(seq) > 0 {
+				line += fmt.Sprintf("  durable_seq %.0f", seq[0].Last())
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		}
+		if lag := d.Find("sihtm_repl_lag"); len(lag) > 0 {
+			wm := d.Find("sihtm_repl_watermark")
+			line := fmt.Sprintf("  repl        lag %.0f", lag[0].Last())
+			if len(wm) > 0 {
+				line += fmt.Sprintf("  watermark %.0f", wm[0].Last())
+			}
+			fmt.Fprintf(w, "%s\n", line)
+		}
+
+		var firing, pending []string
+		for _, rs := range f.Alerts.Rules {
+			switch rs.State {
+			case "firing":
+				firing = append(firing, fmt.Sprintf("%s (%.4g %s %g)", rs.Name, rs.Value, rs.Op, rs.Threshold))
+			case "pending":
+				pending = append(pending, rs.Name)
+			}
+		}
+		sort.Strings(firing)
+		sort.Strings(pending)
+		switch {
+		case len(firing) > 0:
+			fmt.Fprintf(w, "  alerts      FIRING: %s\n", strings.Join(firing, ", "))
+		case len(pending) > 0:
+			fmt.Fprintf(w, "  alerts      pending: %s\n", strings.Join(pending, ", "))
+		default:
+			fmt.Fprintf(w, "  alerts      all %d rules healthy\n", len(f.Alerts.Rules))
+		}
+		if len(pending) > 0 && len(firing) > 0 {
+			fmt.Fprintf(w, "              pending: %s\n", strings.Join(pending, ", "))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,83 @@
+package monitor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"sihtm/internal/alert"
+	"sihtm/internal/telemetry"
+	"sihtm/internal/tsdb"
+)
+
+// TestPollAndRender runs a real tsdb + alert engine behind a real
+// metrics listener and checks the dashboard panel end to end.
+func TestPollAndRender(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	sys := telemetry.L("system", "si-htm")
+	commits := reg.MustCounter("sihtm_tm_commits_total", "commits",
+		telemetry.L("path", "update"), sys)
+	reg.MustCounter("sihtm_tm_commits_total", "commits", telemetry.L("path", "read_only"), sys)
+	caps := reg.MustCounter("sihtm_tm_aborts_total", "aborts",
+		telemetry.L("cause", "capacity"), sys)
+	for _, cause := range []string{"conflict", "non_transactional", "explicit", "other"} {
+		reg.MustCounter("sihtm_tm_aborts_total", "aborts", telemetry.L("cause", cause), sys)
+	}
+	svc := reg.MustHistogram("sihtm_server_service_seconds", "service", telemetry.UnitSeconds)
+	store := tsdb.New(reg, tsdb.Config{Interval: 10 * time.Millisecond, Retention: 64})
+	eng, err := alert.New(store, reg, alert.DefaultRules(alert.RuleOptions{
+		System: "si-htm", Interval: 10 * time.Millisecond,
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Unix(3000, 0)
+	for i := 0; i < 12; i++ {
+		commits.Add(50)
+		caps.Add(25) // 33% capacity share: the cliff rule must fire
+		svc.Observe(700 * time.Microsecond)
+		at = at.Add(10 * time.Millisecond)
+		store.ScrapeAt(at)
+	}
+	srv, err := telemetry.ListenAndServe("127.0.0.1:0", reg, nil,
+		telemetry.Extra{Path: "/debug/timeseries", Handler: tsdb.Handler(store)},
+		telemetry.Extra{Path: "/debug/alerts", Handler: alert.Handler(eng)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	f := Poll(Node{Name: "leader", Base: "http://" + srv.Addr()}, 0)
+	if f.Err != nil {
+		t.Fatal(f.Err)
+	}
+	if len(f.TS.TimesNs) != 12 {
+		t.Fatalf("polled points = %d want 12", len(f.TS.TimesNs))
+	}
+	var buf bytes.Buffer
+	Render(&buf, []Frame{f}, 0)
+	out := buf.String()
+	for _, want := range []string{
+		"== leader",
+		"throughput  5000 tx/s",
+		"capacity 33.3%",
+		"service 7", // ~700µs bucketized
+		"FIRING: " + alert.RuleCapacityShare,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+
+	// A dead node renders as unreachable, not a panic.
+	dead := Poll(Node{Name: "ghost", Base: "http://127.0.0.1:1"}, 0)
+	if dead.Err == nil {
+		t.Fatal("poll of dead node succeeded")
+	}
+	buf.Reset()
+	Render(&buf, []Frame{dead}, 0)
+	if !strings.Contains(buf.String(), "UNREACHABLE") {
+		t.Fatalf("dead panel:\n%s", buf.String())
+	}
+}

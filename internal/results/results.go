@@ -98,6 +98,13 @@ type Record struct {
 	TraceSpansTotal uint64  `json:"trace_spans_total,omitempty"`
 	TraceStageSumUs float64 `json:"trace_stage_sum_us,omitempty"`
 	TraceClientUs   float64 `json:"trace_client_us,omitempty"`
+
+	// Alerting extras (net-slo only): firing transitions the rule engine
+	// recorded over the point, time from overload start to the capacity
+	// alert firing, and time from load drop to its resolution.
+	AlertsFired          uint64  `json:"alerts_fired,omitempty"`
+	AlertTimeToFireMs    float64 `json:"alert_ttf_ms,omitempty"`
+	AlertTimeToResolveMs float64 `json:"alert_ttr_ms,omitempty"`
 }
 
 // Key identifies a record's cell for matching between reports.

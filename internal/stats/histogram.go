@@ -83,6 +83,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// SnapshotInto copies the current counters into dst, reusing dst's
+// Counts buffer when it has capacity — the allocation-free scrape path
+// (internal/tsdb's snapshot ring pins zero steady-state allocs on it).
+func (h *Histogram) SnapshotInto(dst *HistogramSnapshot) {
+	dst.SumNs = h.sum.Load()
+	if cap(dst.Counts) < histSlots {
+		dst.Counts = make([]uint64, histSlots)
+	}
+	dst.Counts = dst.Counts[:histSlots]
+	for i := range h.buckets {
+		dst.Counts[i] = h.buckets[i].Load()
+	}
+}
+
 // HistogramSnapshot is an immutable copy of a Histogram (or the delta of
 // two). It serializes to JSON, which is how server stats travel over the
 // wire protocol's control plane.

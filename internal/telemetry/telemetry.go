@@ -130,6 +130,9 @@ type Registry struct {
 	mu          sync.Mutex
 	families    map[string]*family
 	seriesLimit int
+
+	selfOnce sync.Once
+	selfHist *stats.Histogram // SelfObserve's scrape-duration histogram
 }
 
 // NewRegistry returns an empty registry with DefaultSeriesLimit.
@@ -338,4 +341,99 @@ func (r *Registry) sortedFamilies() []*family {
 	r.mu.Unlock()
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	return fams
+}
+
+// SeriesInfo identifies one registered series: family name, kind, unit
+// (histograms only), and the sorted label set.
+type SeriesInfo struct {
+	Name   string
+	Kind   Kind
+	Unit   Unit
+	Labels []Label
+}
+
+// SeriesReader is one series plus its read path. Histograms expose the
+// live histogram in Hist (Value is nil); counters and gauges expose a
+// Value closure. Neither path allocates, so a scraper that preallocated
+// its destination (internal/tsdb's snapshot ring) can sample the whole
+// registry allocation-free.
+type SeriesReader struct {
+	Info  SeriesInfo
+	Value func() float64
+	Hist  *stats.Histogram
+}
+
+// Readers snapshots the registry as a flat reader list in deterministic
+// (family name, label signature) order. Series registered after the
+// call are not included — scrape layouts are built once at wiring time.
+func (r *Registry) Readers() []SeriesReader {
+	var out []SeriesReader
+	for _, f := range r.sortedFamilies() {
+		r.mu.Lock()
+		ss := append([]*series(nil), f.series...)
+		r.mu.Unlock()
+		sort.Slice(ss, func(i, j int) bool { return ss[i].sig < ss[j].sig })
+		for _, s := range ss {
+			rd := SeriesReader{Info: SeriesInfo{
+				Name:   f.name,
+				Kind:   f.kind,
+				Unit:   f.unit,
+				Labels: append([]Label(nil), s.labels...),
+			}}
+			switch {
+			case s.hist != nil:
+				rd.Hist = s.hist
+			case s.counter != nil:
+				c := s.counter
+				rd.Value = func() float64 { return float64(c.Value()) }
+			case s.counterFn != nil:
+				fn := s.counterFn
+				rd.Value = func() float64 { return float64(fn()) }
+			case s.gauge != nil:
+				g := s.gauge
+				rd.Value = func() float64 { return float64(g.Value()) }
+			default:
+				rd.Value = s.gaugeFn
+			}
+			out = append(out, rd)
+		}
+	}
+	return out
+}
+
+// Self-observability instrument names: the registry watching itself.
+const (
+	// ScrapeDurationName is the histogram of full-registry scrape
+	// durations, observed in microseconds (UnitCount domain).
+	ScrapeDurationName = "sihtm_telemetry_scrape_duration_us"
+	// SeriesTotalName is the gauge counting registered series across
+	// all families, computed at scrape time.
+	SeriesTotalName = "sihtm_telemetry_series_total"
+)
+
+// SelfObserve registers the registry's own meta-instruments — the
+// scrape-duration histogram and the series-count gauge — and returns
+// the histogram for scrapers to feed. Idempotent: repeated calls return
+// the same histogram. Opt-in rather than part of NewRegistry so that
+// registries which are never scraped stay exactly as before.
+func (r *Registry) SelfObserve() *stats.Histogram {
+	r.selfOnce.Do(func() {
+		r.selfHist = r.MustHistogram(ScrapeDurationName,
+			"Duration of one full-registry scrape in microseconds.", UnitCount)
+		r.MustGaugeFunc(SeriesTotalName,
+			"Registered series across all families.",
+			func() float64 { return float64(r.numSeries()) })
+	})
+	return r.selfHist
+}
+
+// numSeries counts every registered series across families.
+func (r *Registry) numSeries() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, f := range r.families {
+		n += len(f.series)
+	}
+	return n
 }

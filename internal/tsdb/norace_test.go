@@ -1,0 +1,7 @@
+//go:build !race
+
+package tsdb
+
+// raceEnabled gates exact-zero allocation assertions (race-detector
+// instrumentation allocates).
+const raceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package tsdb
+
+// raceEnabled gates exact-zero allocation assertions; see norace_test.go.
+const raceEnabled = true
